@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4 for the index).  Each test both:
+
+* drives the real simulators/models under ``pytest-benchmark`` timing, and
+* asserts the *shape* of the paper's result (who wins, by what factor,
+  where the crossovers sit) and prints the reproduced table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2002)  # DATE 2002
+
+
+@pytest.fixture
+def me_workload(rng):
+    """The Table 1 workload: 8x8 block, +/-8 displacement search area."""
+    reference_block = rng.integers(0, 256, (8, 8))
+    search_area = rng.integers(0, 256, (24, 24))
+    return reference_block, search_area
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table so `pytest -s benchmarks/` shows it."""
+    print("\n" + text)

@@ -1,0 +1,75 @@
+"""Ablation A2 — the feedback pipelines (§4.2's reverse dataflow).
+
+The switches' feedback pipelines replace long routing with local delay
+lines ("the required delays on recursive branch are automatically
+achieved in them").  This ablation quantifies two consequences:
+
+* **delay capacity**: a depth-P pipeline lets one Dnode provide up to
+  ``1 + P`` cycles of delay, so an N-word FIFO costs
+  ``1 + ceil(N / (1 + P))`` Dnodes instead of ``N + 1`` — measured via
+  the FIFO-emulation planner;
+* **FIR mappability**: the spatial FIR needs exactly one Rp tap per
+  layer to re-time the sample stream; with the pipelines removed
+  (depth 0) the mapping is impossible beyond one tap, with depth >= 1
+  any tap count up to the layer count maps at 1 sample/cycle.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.kernels.fifo_emulation import delay_line, plan_delay
+from repro.kernels.fir import spatial_fir
+from repro.kernels.reference import fir as ref_fir
+
+SIGNAL = [3, -1, 4, 1, -5, 9, 2, -6, 5, 3, 5, -8]
+
+
+def test_ablation_delay_capacity(benchmark):
+    out = benchmark(delay_line, SIGNAL, 12)
+    assert out == ([0] * 12 + SIGNAL)[:len(SIGNAL)]
+
+
+def test_ablation_dnode_cost_vs_depth():
+    """Dnodes needed for an N-cycle FIFO, with vs without the pipelines."""
+    rows = []
+    for depth_words in (4, 8, 16, 32):
+        with_pipes = plan_delay(depth_words).dnodes_used
+        without_pipes = depth_words + 1  # one register per Dnode
+        rows.append([depth_words, with_pipes, without_pipes,
+                     without_pipes / with_pipes])
+        assert with_pipes < without_pipes
+    emit(render_table(
+        ["FIFO words", "Dnodes (with Rp)", "Dnodes (no Rp)", "saving"],
+        rows, title="A2 (ablation) — feedback pipelines as delay lines"))
+    # saving grows towards the asymptote of 1 + pipeline depth = 5x
+    savings = [row[3] for row in rows]
+    assert savings == sorted(savings)
+    assert savings[-1] > 4.0
+
+
+@pytest.mark.parametrize("taps", [[5], [5, -2], [5, -2, 3, 1, -1, 2, 7, 4]])
+def test_ablation_fir_maps_at_full_rate(taps):
+    """With the pipelines, any tap count up to the layer count maps at
+    1 sample/cycle and stays bit-exact."""
+    result = spatial_fir(taps, SIGNAL)
+    assert result.outputs == ref_fir(SIGNAL, taps)
+    assert result.samples_per_cycle == 1.0
+
+
+def test_ablation_fir_needs_exactly_one_tap_stage():
+    """Every FIR layer reads Rp stage 1 only — the architecture could
+    not re-time the streams with shallower (depth-0) pipelines, and
+    needs no deeper ones: the paper's depth-4 choice is generous."""
+    from repro.core.isa import Source
+    from repro.kernels.fir import build_spatial_fir
+
+    system = build_spatial_fir([1, 2, 3, 4], None)
+    stages_used = set()
+    for layer in range(1, 4):
+        for pos in (0, 1):
+            mw = system.ring.dnode(layer, pos).global_word
+            for src in (mw.src_a, mw.src_b):
+                if src.is_feedback:
+                    stages_used.add(src.feedback_stage)
+    assert stages_used == {1}

@@ -1,0 +1,62 @@
+"""Ablation A4 (extension) — the energy story the paper only gestures at.
+
+The paper motivates reconfigurable computing with the "area, cost and
+consumption problems" of frequency-scaled CPUs but publishes no power
+numbers.  This extension quantifies the claim with a first-order CMOS
+dynamic-power model (see ``repro.tech.power``): the fabric's MIPS/W sits
+orders of magnitude above the era's CPU, and grows with ring size as
+the shared controller amortises.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, ring_peak_mips
+from repro.baselines.scalar_cpu import PENTIUM_II_450
+from repro.core.ring import RingGeometry
+from repro.tech.power import (
+    PENTIUM_II_450_POWER_W,
+    core_power,
+    mips_per_watt,
+)
+
+
+def test_power_model_evaluation(benchmark):
+    estimate = benchmark(core_power, RingGeometry.ring(64), "0.18um")
+    assert estimate.total_w > 0
+
+
+def test_power_shape():
+    rows = []
+    for dnodes in (8, 16, 64, 256):
+        estimate = core_power(RingGeometry.ring(dnodes), "0.18um")
+        rows.append([
+            f"Ring-{dnodes}",
+            estimate.total_w * 1e3,
+            ring_peak_mips(dnodes) / 1e3,
+            mips_per_watt(dnodes) / 1e3,
+        ])
+    cpu_eff = PENTIUM_II_450.sustained_mips / PENTIUM_II_450_POWER_W
+    rows.append(["Pentium II 450", PENTIUM_II_450_POWER_W * 1e3,
+                 PENTIUM_II_450.sustained_mips / 1e3, cpu_eff / 1e3])
+    emit(render_table(
+        ["engine", "power mW", "GMIPS", "kMIPS/W"],
+        rows, title="A4 (extension) — power and efficiency at 0.18 um"))
+
+    # Ring-8 sits in the tens-of-mW class, 1000x below the CPU package.
+    ring8 = core_power(RingGeometry.ring(8), "0.18um").total_w
+    assert ring8 < 0.3
+    assert PENTIUM_II_450_POWER_W / ring8 > 80
+
+    # Efficiency gap: orders of magnitude, growing with ring size.
+    assert mips_per_watt(8) / cpu_eff > 100
+    assert mips_per_watt(256) > mips_per_watt(8)
+
+
+def test_power_scales_gracefully():
+    """Per-Dnode power is flat: energy scales with compute, not size."""
+    per_dnode = [
+        core_power(RingGeometry.ring(n), "0.18um").total_w / n
+        for n in (8, 32, 128)
+    ]
+    assert max(per_dnode) / min(per_dnode) < 1.6

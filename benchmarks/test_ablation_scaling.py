@@ -1,0 +1,89 @@
+"""Ablation A3 — the "highly scalable" claim, quantified.
+
+Sweeps Ring-8 ... Ring-256 and checks the three properties the paper's
+architecture is designed around:
+
+* silicon area grows linearly with Dnode count while the *overhead*
+  fraction (controller + configuration + switches) shrinks;
+* the achievable clock is flat for the ring but degrades for mesh and
+  crossbar fabrics of the same compute (the §4.2 routing argument);
+* peak compute (MIPS) and direct-port bandwidth scale linearly.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, ring_peak_mips
+from repro.analysis.mips import theoretical_bandwidth_bytes_per_s
+from repro.core.ring import RingGeometry
+from repro.tech.area import core_area_mm2
+from repro.tech.timing import (
+    crossbar_frequency_hz,
+    estimated_frequency_hz,
+    mesh_frequency_hz,
+)
+
+SWEEP = (8, 16, 32, 64, 128, 256)
+
+
+def _sweep_rows():
+    rows = []
+    for dnodes in SWEEP:
+        report = core_area_mm2(RingGeometry.ring(dnodes), "0.18um")
+        rows.append({
+            "dnodes": dnodes,
+            "area": report.total_mm2,
+            "overhead": report.overhead_fraction,
+            "mips": ring_peak_mips(dnodes),
+            "bw": theoretical_bandwidth_bytes_per_s(dnodes) / 1e9,
+            "ring_mhz": estimated_frequency_hz("0.18um", dnodes) / 1e6,
+            "mesh_mhz": mesh_frequency_hz("0.18um", dnodes) / 1e6,
+            "xbar_mhz": crossbar_frequency_hz("0.18um", dnodes) / 1e6,
+        })
+    return rows
+
+
+def test_ablation_sweep_evaluation(benchmark):
+    rows = benchmark(_sweep_rows)
+    assert len(rows) == len(SWEEP)
+
+
+def test_ablation_scaling_shape():
+    rows = _sweep_rows()
+    emit(render_table(
+        ["Ring-N", "area mm^2", "overhead %", "GMIPS", "GB/s",
+         "ring MHz", "mesh MHz", "xbar MHz"],
+        [[r["dnodes"], r["area"], 100 * r["overhead"], r["mips"] / 1000,
+          r["bw"], r["ring_mhz"], r["mesh_mhz"], r["xbar_mhz"]]
+         for r in rows],
+        title="A3 (ablation) — scaling sweep at 0.18 um"))
+
+    # Area: linear in N (constant marginal cost within 5 %).
+    marginals = [
+        (rows[i + 1]["area"] - rows[i]["area"])
+        / (rows[i + 1]["dnodes"] - rows[i]["dnodes"])
+        for i in range(len(rows) - 1)
+    ]
+    assert max(marginals) / min(marginals) < 1.05
+
+    # Overhead fraction strictly shrinks.
+    overheads = [r["overhead"] for r in rows]
+    assert overheads == sorted(overheads, reverse=True)
+
+    # Compute and bandwidth: exactly linear.
+    for r in rows:
+        assert r["mips"] == 200 * r["dnodes"]
+        assert r["bw"] == pytest.approx(0.4 * r["dnodes"], rel=1e-6)
+
+    # Frequency: ring flat, rivals degrade monotonically.
+    ring_f = {r["ring_mhz"] for r in rows}
+    assert len(ring_f) == 1
+    mesh_f = [r["mesh_mhz"] for r in rows]
+    xbar_f = [r["xbar_mhz"] for r in rows]
+    assert mesh_f == sorted(mesh_f, reverse=True)
+    assert xbar_f == sorted(xbar_f, reverse=True)
+    assert xbar_f[-1] < mesh_f[-1] < rows[0]["ring_mhz"]
+
+    # At 256 Dnodes the crossbar has lost >70 % of the clock; the ring
+    # none — the quantified version of "limit the scalability".
+    assert xbar_f[-1] / rows[0]["ring_mhz"] < 0.3

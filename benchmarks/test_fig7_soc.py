@@ -1,0 +1,45 @@
+"""Fig. 7 — the "foreseeable SoC".
+
+Paper sketch: a 4 x 3 mm (12 mm^2) 0.18 um die integrating an ARM7TDMI
+(0.54 mm^2) with a Ring-64 (3.4 mm^2) plus flash/converters — "a great
+computation power/cost trade-off".  The benchmark budgets that die from
+the calibrated area model and checks it closes, then quantifies the
+power/cost claim.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table, ring_peak_mips
+from repro.tech.soc import ARM7TDMI_MM2, foreseeable_soc
+
+
+def test_fig7_budget(benchmark):
+    budget = benchmark(foreseeable_soc)
+    assert budget.fits
+
+
+def test_fig7_shape():
+    budget = foreseeable_soc()
+    rows = [[name, area] for name, area in budget.blocks]
+    rows.append(["(free)", budget.free_mm2])
+    emit(render_table(["block", "mm^2"], rows,
+                      title="Fig. 7 (reproduced) — 12 mm^2 SoC budget"))
+
+    assert budget.die_mm2 == 12.0
+    assert budget.block_area("arm7tdmi") == ARM7TDMI_MM2
+    assert budget.block_area("ring-64") == pytest.approx(3.4, rel=0.02)
+    assert budget.fits
+
+
+def test_fig7_power_cost_tradeoff():
+    """The sketch's point: the Ring-64 adds 12.8 GMIPS of dataflow
+    compute in ~6x the ARM7's area — two orders of magnitude more
+    operations per mm^2 than the host CPU."""
+    budget = foreseeable_soc()
+    ring_mips = ring_peak_mips(64)
+    arm7_mips = 60.0  # ~0.9 MIPS/MHz at 66 MHz, published ARM7 figure
+    ring_density = ring_mips / budget.block_area("ring-64")
+    arm_density = arm7_mips / ARM7TDMI_MM2
+    assert ring_mips / arm7_mips > 100
+    assert ring_density / arm_density > 30

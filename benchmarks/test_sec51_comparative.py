@@ -1,0 +1,77 @@
+"""§5.1 comparative results — raw power and bandwidth.
+
+Paper claims for the Ring-8 at 200 MHz:
+
+* 1600 MIPS peak ("quite impressive compared to the 400 MIPS of a
+  Pentium II 450 MHz processor");
+* ~3 GB/s theoretical bandwidth, limited to 250 MB/s by the PCI
+  protocol of the prototype.
+
+The benchmark measures *sustained* MIPS from real fabric activity (a
+fully-busy MAC ring), not just the peak arithmetic.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.analysis.mips import (
+    comparative_summary,
+    measured_mips,
+    measured_mops,
+    ring_peak_mips,
+)
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import make_ring
+from repro.host.dma import ONCHIP_PORTS, PCI_BUS
+
+
+def _busy_ring(dnodes=8):
+    ring = make_ring(dnodes)
+    for dn in ring.all_dnodes():
+        ring.config.write_microword(dn.layer, dn.position, MicroWord(
+            Opcode.MAC, Source.ZERO, Source.ZERO, Dest.R0))
+    return ring
+
+
+def test_sec51_sustained_fabric_rate(benchmark):
+    """A fully-busy Ring-8 sustains its peak 1600 MIPS."""
+    ring = _busy_ring()
+    benchmark(ring.run, 1000)
+    assert measured_mips(ring) == pytest.approx(1600.0)
+    assert measured_mops(ring) == pytest.approx(3200.0)
+    benchmark.extra_info["sustained_mips"] = measured_mips(ring)
+
+
+def test_sec51_summary(benchmark):
+    summary = benchmark(comparative_summary)
+    assert summary["ring_peak_mips"] == 1600.0
+
+
+def test_sec51_shape():
+    summary = comparative_summary()
+    emit(render_table(
+        ["metric", "reproduced", "paper"],
+        [
+            ["Ring-8 peak MIPS", summary["ring_peak_mips"], "1600"],
+            ["Pentium II 450 MIPS", summary["cpu_mips"], "~400"],
+            ["theoretical bandwidth GB/s",
+             summary["theoretical_bw_gb_s"], "~3"],
+            ["PCI protocol GB/s", summary["pci_bw_gb_s"], "0.25"],
+        ],
+        title="SS5.1 (reproduced) — comparative results"))
+    assert summary["ring_peak_mips"] == 1600.0
+    assert summary["cpu_mips"] == pytest.approx(400, rel=0.02)
+    assert summary["speedup_vs_cpu"] == pytest.approx(4.0, rel=0.02)
+    assert summary["theoretical_bw_gb_s"] == pytest.approx(3.2)
+    assert summary["pci_bw_gb_s"] == 0.25
+
+
+def test_sec51_bandwidth_limits_transfer_times():
+    """Moving one 1024x768 16-bit frame: ~0.5 ms on the ports, ~6.3 ms
+    over PCI — the protocol is the bottleneck, as the paper notes."""
+    frame_bytes = 1024 * 768 * 2
+    onchip = ONCHIP_PORTS.transfer_time_s(frame_bytes)
+    pci = PCI_BUS.transfer_time_s(frame_bytes)
+    assert onchip == pytest.approx(frame_bytes / 3.2e9)
+    assert pci / onchip == pytest.approx(12.8, rel=0.01)

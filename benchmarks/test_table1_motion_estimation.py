@@ -1,0 +1,66 @@
+"""Table 1 — motion-estimation performance.
+
+Paper row set: cycles needed for matching an 8x8 reference block against
+its +/-8-pixel search area, on the dedicated ASIC [7], the Systolic
+Ring, and Intel MMX code [8].  The reproduced shape:
+
+* ASIC << Ring << MMX in cycles,
+* the Ring "almost 8 times faster than an MMX solution",
+* the ASIC several times faster than the Ring (hardware, no flexibility).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.baselines.asic_me import asic_block_match
+from repro.baselines.mmx import mmx_block_match
+from repro.kernels.motion_estimation import cycle_model, full_search_me
+from repro.kernels.reference import full_search
+
+
+def test_table1_ring_fabric(benchmark, me_workload):
+    """Benchmark the cycle-accurate Ring-16 run and check exactness."""
+    block, area = me_workload
+    result = benchmark(full_search_me, block, area)
+    _, _, golden = full_search(block, area)
+    assert np.array_equal(result.sad_map, golden)
+    assert result.cycles == cycle_model() == 2511
+    benchmark.extra_info["fabric_cycles"] = result.cycles
+
+
+def test_table1_mmx_baseline(benchmark, me_workload):
+    block, area = me_workload
+    result = benchmark(mmx_block_match, block.astype(np.uint8),
+                       area.astype(np.uint8))
+    _, _, golden = full_search(block, area)
+    assert np.array_equal(result.sad_map, golden)
+    benchmark.extra_info["modelled_cycles"] = result.cycles
+
+
+def test_table1_asic_baseline(benchmark, me_workload):
+    block, area = me_workload
+    result = benchmark(asic_block_match, block, area)
+    benchmark.extra_info["modelled_cycles"] = result.cycles
+
+
+def test_table1_shape(me_workload):
+    """The published comparison's shape must hold."""
+    block, area = me_workload
+    ring = full_search_me(block, area)
+    mmx = mmx_block_match(block.astype(np.uint8), area.astype(np.uint8))
+    asic = asic_block_match(block, area)
+
+    assert asic.cycles < ring.cycles < mmx.cycles
+    ring_vs_mmx = mmx.cycles / ring.cycles
+    assert 6.0 <= ring_vs_mmx <= 10.0, "paper: 'almost 8 times faster'"
+    assert ring.cycles / asic.cycles > 4, "paper: ASIC 'much faster'"
+
+    emit(render_table(
+        ["engine", "cycles", "vs Ring"],
+        [
+            ["ASIC [7]", asic.cycles, f"{asic.cycles / ring.cycles:.2f}x"],
+            ["Systolic Ring-16", ring.cycles, "1.00x"],
+            ["Intel MMX", mmx.cycles, f"{ring_vs_mmx:.2f}x"],
+        ],
+        title="Table 1 (reproduced) — 8x8 block, 289 candidates"))

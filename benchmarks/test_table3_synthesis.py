@@ -1,0 +1,61 @@
+"""Table 3 — synthesis results.
+
+Paper rows (ST CMOS, Synopsys DC estimates)::
+
+             D-node area   core area   est. frequency
+    0.25um   0.06 mm^2     0.9 mm^2    180 MHz
+    0.18um   0.04 mm^2     0.7 mm^2    200 MHz
+
+Our analytical model is calibrated on exactly these anchors; the
+benchmark regenerates the table and asserts the anchors plus the scaling
+predictions that fall out (Ring-64 at 3.4 mm^2 etc.).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.core.ring import RingGeometry
+from repro.tech.area import core_area_mm2, dnode_area_mm2, synthesis_table
+from repro.tech.timing import estimated_frequency_hz
+
+PAPER_TABLE3 = {
+    "0.25um": (0.06, 0.9, 180.0),
+    "0.18um": (0.04, 0.7, 200.0),
+}
+
+
+def test_table3_model_evaluation(benchmark):
+    rows = benchmark(synthesis_table)
+    assert len(rows) == 2
+
+
+def test_table3_anchors_exact():
+    rows = synthesis_table()
+    printable = []
+    for name, dnode, core, mhz in rows:
+        paper = PAPER_TABLE3[name]
+        assert dnode == pytest.approx(paper[0], rel=1e-6)
+        assert core == pytest.approx(paper[1], rel=1e-6)
+        assert mhz == pytest.approx(paper[2], rel=0.01)
+        printable.append([name, dnode, core, mhz,
+                          f"{paper[0]}/{paper[1]}/{paper[2]:.0f}"])
+    emit(render_table(
+        ["techno", "D-node mm^2", "core mm^2", "est. MHz", "paper"],
+        printable, title="Table 3 (reproduced) — synthesis results"))
+
+
+def test_table3_scaling_predictions():
+    """Beyond the anchors: the model's genuine predictions."""
+    # Fig. 7's Ring-64 on-die area.
+    ring64 = core_area_mm2(RingGeometry.ring(64), "0.18um").total_mm2
+    assert ring64 == pytest.approx(3.4, rel=0.02)
+    # "The low area of each D-node ... could easily be scaled": per-Dnode
+    # marginal cost stays flat from Ring-8 to Ring-256.
+    a8 = core_area_mm2(RingGeometry.ring(8), "0.18um").total_mm2
+    a256 = core_area_mm2(RingGeometry.ring(256), "0.18um").total_mm2
+    marginal = (a256 - a8) / (256 - 8)
+    assert marginal == pytest.approx(dnode_area_mm2("0.18um"), rel=0.35)
+    # Frequency does not change with ring size.
+    assert estimated_frequency_hz("0.18um", 256) == \
+        estimated_frequency_hz("0.18um", 8)

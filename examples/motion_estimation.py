@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Motion estimation on the Systolic Ring vs the Table 1 comparators.
+
+Generates a synthetic video frame pair with known motion, runs H.261-style
+full-search block matching (8x8 block, +/-8 displacement = 289 candidates)
+on three engines:
+
+* the Ring-16 fabric simulator (hybrid local/global mapping),
+* the instruction-level MMX model,
+* the dedicated systolic ASIC model [7],
+
+verifies all three find the same motion vector with bit-identical SAD
+maps, and prints the Table 1 cycle comparison.
+
+Run:  python examples/motion_estimation.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.baselines.asic_me import asic_block_match
+from repro.baselines.mmx import mmx_block_match
+from repro.kernels.motion_estimation import full_search_me
+from repro.kernels.reference import full_search
+
+BLOCK = 8
+DISPLACEMENT = 8
+
+
+def synthetic_frame_pair(true_motion=(3, -5), seed=7):
+    """A textured frame and a shifted successor with additive noise."""
+    rng = np.random.default_rng(seed)
+    size = 48
+    frame = rng.integers(0, 256, (size, size))
+    dy, dx = true_motion
+    moved = np.roll(np.roll(frame, dy, axis=0), dx, axis=1)
+    noisy = np.clip(moved + rng.integers(-5, 6, moved.shape), 0, 255)
+    return frame, noisy
+
+
+def main() -> None:
+    frame, next_frame = synthetic_frame_pair()
+    # reference block from the current frame centre; search window +/-8
+    by, bx = 20, 20
+    block = next_frame[by:by + BLOCK, bx:bx + BLOCK]
+    area = frame[by - DISPLACEMENT:by + BLOCK + DISPLACEMENT,
+                 bx - DISPLACEMENT:bx + BLOCK + DISPLACEMENT]
+
+    golden_best, golden_sad, golden_map = full_search(block, area)
+    ring = full_search_me(block, area)
+    mmx = mmx_block_match(block.astype(np.uint8), area.astype(np.uint8))
+    asic = asic_block_match(block, area)
+
+    assert np.array_equal(ring.sad_map, golden_map), "ring SADs diverged"
+    assert np.array_equal(mmx.sad_map, golden_map), "MMX SADs diverged"
+    assert ring.best == mmx.best == asic.best == golden_best
+
+    mv = (golden_best[0] - DISPLACEMENT, golden_best[1] - DISPLACEMENT)
+    print(f"recovered motion vector: {mv} (SAD {golden_sad}), "
+          f"{golden_map.size} candidates searched\n")
+
+    rows = [
+        ["ASIC [7] @ 100 MHz", asic.cycles,
+         asic.cycles / 100e6 * 1e6],
+        ["Systolic Ring-16 @ 200 MHz", ring.cycles,
+         ring.cycles / 200e6 * 1e6],
+        ["Intel MMX (Pentium-class)", mmx.cycles,
+         mmx.cycles / 200e6 * 1e6],
+    ]
+    print(render_table(
+        ["engine", "cycles", "time (us, at its clock)"], rows,
+        title="Table 1 — motion estimation (8x8 block, +/-8 search)"))
+    print(f"\nRing vs MMX speedup: {mmx.cycles / ring.cycles:.1f}x "
+          "(paper: 'almost 8 times faster')")
+    print(f"ASIC vs Ring speedup: {ring.cycles / asic.cycles:.1f}x "
+          "(paper: 'much faster ... at the price of flexibility')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The Fig. 6 APEX prototype, emulated end to end.
+
+Assembles a pixel kernel with the two-level toolchain, serializes the
+object code into the PRG memory, streams a 64x64 test pattern from the
+IMAGE memory through the Ring-8, writes results to the VIDEO memory and
+scans it out with the VGA-controller model.  Renders the frames as ASCII
+so the effect of each kernel is visible in a terminal.
+
+Run:  python examples/vga_prototype.py
+"""
+
+import numpy as np
+
+from repro.host.prototype import (
+    IMAGE_SIDE,
+    reference_kernel,
+    run_prototype,
+)
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def test_pattern(side=IMAGE_SIDE):
+    """Concentric rings + a bright square: edges in every direction."""
+    y, x = np.mgrid[0:side, 0:side]
+    cy = cx = side / 2
+    radius = np.sqrt((y - cy) ** 2 + (x - cx) ** 2)
+    pattern = (127 + 120 * np.cos(radius / 3.0)).astype(int)
+    pattern[8:20, 8:20] = 250
+    return np.clip(pattern, 0, 255)
+
+
+def ascii_render(frame, step=4):
+    """Downsample a frame to terminal-size ASCII art."""
+    small = frame[::step, ::step]
+    lo, hi = small.min(), max(small.max(), small.min() + 1)
+    lines = []
+    for row in small:
+        idx = ((row - lo) * (len(ASCII_RAMP) - 1) // (hi - lo))
+        lines.append("".join(ASCII_RAMP[int(i)] for i in idx))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    image = test_pattern()
+    print("IMAGE memory (input pattern):")
+    print(ascii_render(image))
+    for operation in ("invert", "threshold", "edge"):
+        result = run_prototype(image, operation)
+        expected = reference_kernel(image, operation)
+        assert np.array_equal(result.framebuffer, expected)
+        print(f"\nVGA output after '{operation}' "
+              f"({result.cycles} fabric cycles, "
+              f"{result.frames_scanned} frame scanned, verified):")
+        print(ascii_render(result.framebuffer))
+    print("\nPRG memory held the serialized object code; the core was "
+          "'loaded with the generated object code' as in Fig. 6.")
+
+
+if __name__ == "__main__":
+    main()

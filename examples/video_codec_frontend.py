@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""A video-codec front end on the Systolic Ring: motion + transform.
+
+The paper targets "lots of video-relative techniques" in 3G multimedia.
+This example chains the two halves of an H.261/MPEG-style encoder front
+end, both on the fabric:
+
+1. **motion estimation** — block-wise full search between two synthetic
+   frames (the Table 1 kernel, per macroblock);
+2. **transform coding** — the 8-point DCT bank (local-sequencer
+   showcase) applied to the rows of each motion-compensated residual
+   block, followed by dead-zone quantisation to show the energy
+   compaction that makes the whole pipeline worthwhile.
+
+Everything the fabric produces is verified against golden models.
+
+Run:  python examples/video_codec_frontend.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.kernels.dct import SCALE, build_dct_system, dct8_fabric, \
+    dct8_reference
+from repro.kernels.motion_estimation import estimate_frame_motion
+
+BLOCK = 8
+
+
+def synthetic_pair(size=24, motion=(2, -3), seed=11):
+    """A textured-but-smooth frame pair (photographic-like, not noise)."""
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:size, 0:size]
+    base = (128 + 80 * np.sin(x / 3.5) * np.cos(y / 2.5)
+            + rng.integers(-8, 9, (size, size))).astype(np.int64)
+    base = np.clip(base, 0, 255)
+    dy, dx = motion
+    moved = np.zeros_like(base)
+    moved[max(dy, 0):size + min(dy, 0), max(dx, 0):size + min(dx, 0)] = \
+        base[max(-dy, 0):size + min(-dy, 0),
+             max(-dx, 0):size + min(-dx, 0)]
+    return base, np.clip(moved + rng.integers(-2, 3, base.shape), 0, 255)
+
+
+def motion_compensate(previous, current, vectors, block=BLOCK):
+    """Residual = current - motion-compensated prediction."""
+    residual = np.zeros_like(current, dtype=np.int64)
+    by_count, bx_count, _ = vectors.shape
+    for by in range(by_count):
+        for bx in range(bx_count):
+            y0, x0 = by * block, bx * block
+            dy, dx = vectors[by, bx]
+            pred = previous[y0 + dy:y0 + dy + block,
+                            x0 + dx:x0 + dx + block]
+            residual[y0:y0 + block, x0:x0 + block] = \
+                current[y0:y0 + block, x0:x0 + block].astype(np.int64) \
+                - pred
+    return residual
+
+
+def main() -> None:
+    previous, current = synthetic_pair()
+
+    motion = estimate_frame_motion(previous, current, block=BLOCK,
+                                   displacement=4)
+    residual = motion_compensate(previous, current, motion.vectors)
+    print(f"motion search: {motion.blocks[0]}x{motion.blocks[1]} blocks, "
+          f"{motion.cycles} fabric cycles")
+    print(f"residual energy: {np.abs(residual).sum()} vs raw frame "
+          f"{np.abs(current).sum()} "
+          f"({100 * np.abs(residual).sum() / np.abs(current).sum():.1f}%)\n")
+
+    # Row DCT of every residual block on the fabric, verified per row.
+    system = build_dct_system()
+    rows = [residual[y, x:x + BLOCK]
+            for y in range(residual.shape[0])
+            for x in range(0, residual.shape[1], BLOCK)]
+    stream = [int(v) for row in rows for v in row]
+    result = dct8_fabric(stream, system)
+    for g, row in enumerate(rows):
+        assert result.coefficients[g].tolist() == \
+            dct8_reference([int(v) for v in row]), "fabric DCT diverged"
+
+    # the interior block sees the exact true motion
+    assert tuple(motion.vectors[1, 1]) == (-2, 3), "wrong motion vector"
+
+    def quantised_nonzeros(values):
+        groups = [values[y, x:x + BLOCK]
+                  for y in range(values.shape[0])
+                  for x in range(0, values.shape[1], BLOCK)]
+        flat = [int(v) for row in groups for v in row]
+        coeffs = dct8_fabric(flat, build_dct_system()).coefficients
+        # dead-zone quantisation truncates toward zero (not floor!)
+        quantised = np.sign(coeffs) * (np.abs(coeffs) // (8 * SCALE))
+        return int(np.count_nonzero(quantised)), coeffs.size
+
+    raw_nonzero, total = quantised_nonzeros(current.astype(np.int64))
+    res_nonzero, _ = quantised_nonzeros(residual)
+    rows_table = [
+        ["residual rows transformed", len(rows)],
+        ["fabric cycles (DCT)", result.cycles],
+        ["nonzero coeffs, intra (no motion)", f"{raw_nonzero}/{total}"],
+        ["nonzero coeffs, residual (with motion)",
+         f"{res_nonzero}/{total}"],
+        ["coding gain", f"{raw_nonzero / max(res_nonzero, 1):.1f}x fewer"],
+    ]
+    print(render_table(["stage", "value"], rows_table,
+                       title="Transform coding (fabric DCT, verified)"))
+    print("\ninterior motion vector (dy, dx):",
+          tuple(int(v) for v in motion.vectors[1, 1]),
+          "= the true motion")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — reproduction of the LIRMM Systolic Ring architecture (DATE 2002).
+
+A cycle-accurate Python model of the dynamically reconfigurable systolic
+ring accelerator described in *"Highly Scalable Dynamically Reconfigurable
+Systolic Ring-Architecture for DSP applications"* (Sassatelli, Torres,
+Benoit, Gil, Diou, Cambon, Galy — LIRMM), together with its configuration
+controller, two-level assembler, host/SoC integration, the paper's DSP
+application kernels, every evaluation baseline, and an analytical silicon
+(area/frequency) model.
+
+Typical entry points::
+
+    from repro import make_ring, RingGeometry
+    from repro.core import MicroWord, Opcode, Source, Dest
+    from repro.host import RingSystem
+    from repro.kernels import motion_estimation, wavelet
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.word import MASK, WIDTH, from_signed, to_signed, wrap
+from repro.errors import (
+    AssemblerError,
+    ConfigurationError,
+    HostError,
+    LoaderError,
+    ReproError,
+    SimulationError,
+    TechnologyError,
+)
+from repro.core.ring import Ring, RingGeometry, make_ring
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MASK",
+    "WIDTH",
+    "from_signed",
+    "to_signed",
+    "wrap",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "AssemblerError",
+    "LoaderError",
+    "HostError",
+    "TechnologyError",
+    "Ring",
+    "RingGeometry",
+    "make_ring",
+    "__version__",
+]

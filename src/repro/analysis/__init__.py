@@ -1,0 +1,31 @@
+"""Analysis helpers: raw-power arithmetic and report rendering.
+
+* :mod:`repro.analysis.mips` — the §5.1 comparative numbers (peak MIPS,
+  sustained rates measured from simulator statistics, bandwidth
+  ceilings);
+* :mod:`repro.analysis.report` — plain-text table rendering shared by
+  the benchmark harnesses and examples.
+"""
+
+from repro.analysis.mips import (
+    ring_peak_mips,
+    ring_peak_mops,
+    measured_mips,
+    theoretical_bandwidth_bytes_per_s,
+    comparative_summary,
+)
+from repro.analysis.report import render_table
+from repro.analysis.trace import Probe, SignalTrace, parse_vcd, write_vcd
+
+__all__ = [
+    "Probe",
+    "SignalTrace",
+    "parse_vcd",
+    "write_vcd",
+    "ring_peak_mips",
+    "ring_peak_mops",
+    "measured_mips",
+    "theoretical_bandwidth_bytes_per_s",
+    "comparative_summary",
+    "render_table",
+]

@@ -1,0 +1,87 @@
+"""Raw computing power and bandwidth arithmetic of §5.1.
+
+The paper's headline comparative numbers for the Ring-8 at 200 MHz:
+
+* "a maximal computing power of 1600 MIPS" — one microinstruction per
+  Dnode per cycle: ``8 x 200 MHz = 1600 MIPS`` (and up to 3200 MOPS
+  counting the dual arithmetic operators);
+* "quite impressive compared to the 400 MIPS of a Pentium II 450 MHz";
+* "theoretical maximum bandwidth ... about 3 Gbytes/s, limited to
+  250 Mbytes/s in our implemented communication protocol".
+
+Sustained figures come from the simulator's activity counters, so
+utilisation-honest MIPS can be reported for any real kernel run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.ring import Ring
+from repro.errors import SimulationError
+from repro.host.dma import BYTES_PER_WORD, DEFAULT_CLOCK_HZ, PCI_BUS
+from repro.baselines.scalar_cpu import PENTIUM_II_450, ScalarCpu
+
+
+def ring_peak_mips(dnodes: int, frequency_hz: float = DEFAULT_CLOCK_HZ,
+                   ) -> float:
+    """Peak MIPS: one microinstruction per Dnode per cycle."""
+    _check(dnodes, frequency_hz)
+    return dnodes * frequency_hz / 1e6
+
+
+def ring_peak_mops(dnodes: int, frequency_hz: float = DEFAULT_CLOCK_HZ,
+                   ) -> float:
+    """Peak arithmetic operations/s: the ALU and multiplier can chain,
+    so each Dnode retires up to two elementary operations per cycle."""
+    return 2.0 * ring_peak_mips(dnodes, frequency_hz)
+
+
+def measured_mips(ring: Ring, frequency_hz: float = DEFAULT_CLOCK_HZ,
+                  ) -> float:
+    """Sustained MIPS of a finished run, from the activity counters."""
+    if ring.cycles == 0:
+        raise SimulationError("ring has not run yet")
+    per_cycle = ring.instructions_executed / ring.cycles
+    return per_cycle * frequency_hz / 1e6
+
+
+def measured_mops(ring: Ring, frequency_hz: float = DEFAULT_CLOCK_HZ,
+                  ) -> float:
+    """Sustained elementary-operation rate (MAC counts as 2)."""
+    if ring.cycles == 0:
+        raise SimulationError("ring has not run yet")
+    per_cycle = ring.arithmetic_ops_executed / ring.cycles
+    return per_cycle * frequency_hz / 1e6
+
+
+def theoretical_bandwidth_bytes_per_s(
+        ports: int, frequency_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Direct-port bandwidth ceiling: 16 bits per port per cycle."""
+    _check(ports, frequency_hz)
+    return ports * BYTES_PER_WORD * frequency_hz
+
+
+def comparative_summary(dnodes: int = 8,
+                        frequency_hz: float = DEFAULT_CLOCK_HZ,
+                        cpu: ScalarCpu = PENTIUM_II_450) -> Dict[str, float]:
+    """All §5.1 numbers in one dict (used by the S51 benchmark)."""
+    return {
+        "ring_peak_mips": ring_peak_mips(dnodes, frequency_hz),
+        "ring_peak_mops": ring_peak_mops(dnodes, frequency_hz),
+        "cpu_mips": cpu.sustained_mips,
+        "speedup_vs_cpu": ring_peak_mips(dnodes, frequency_hz)
+        / cpu.sustained_mips,
+        "theoretical_bw_gb_s": theoretical_bandwidth_bytes_per_s(
+            dnodes, frequency_hz) / 1e9,
+        "pci_bw_gb_s": PCI_BUS.bandwidth_bytes_per_s / 1e9,
+    }
+
+
+def _check(count: int, frequency_hz: float) -> None:
+    if count < 1:
+        raise SimulationError(f"count must be >= 1, got {count}")
+    if frequency_hz <= 0:
+        raise SimulationError(
+            f"frequency must be positive, got {frequency_hz}"
+        )

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark harnesses and examples.
+
+Every benchmark prints the table/figure it reproduces in the same shape
+the paper reports it; this module is the one place that formats those
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 float_format: str = "{:.2f}") -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with *float_format*; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ReproError("table needs at least one column")
+    formatted: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        formatted.append([
+            float_format.format(cell) if isinstance(cell, float)
+            else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in formatted:
+        out.append(line(row))
+    return "\n".join(out)

@@ -1,0 +1,175 @@
+"""Signal tracing: per-cycle waveform capture from a running fabric.
+
+Debugging a systolic mapping needs the same tool RTL designers use — a
+waveform view.  :class:`SignalTrace` hooks a :class:`~repro.core.ring.Ring`
+(or :class:`~repro.host.system.RingSystem`) and records selected signals
+every cycle:
+
+* ``out``  — a Dnode's output register,
+* ``r0..r3`` — a Dnode's register-file entries,
+* the shared ``bus``.
+
+The capture can be rendered as an ASCII timing diagram
+(:meth:`SignalTrace.render`) or exported as an IEEE-1364 VCD file
+(:func:`write_vcd`) loadable in GTKWave and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import word
+from repro.core.ring import Ring
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One traced signal."""
+
+    name: str
+    layer: int = -1       # -1 for the bus probe
+    position: int = 0
+    register: Optional[int] = None   # None = the OUT register
+
+    @classmethod
+    def out(cls, layer: int, position: int) -> "Probe":
+        return cls(f"D{layer}.{position}.out", layer, position)
+
+    @classmethod
+    def reg(cls, layer: int, position: int, index: int) -> "Probe":
+        return cls(f"D{layer}.{position}.r{index}", layer, position,
+                   register=index)
+
+    @classmethod
+    def bus(cls) -> "Probe":
+        return cls("bus")
+
+
+class SignalTrace:
+    """Records probe values after every fabric cycle."""
+
+    def __init__(self, ring: Ring, probes: List[Probe]):
+        if not probes:
+            raise SimulationError("trace needs at least one probe")
+        self.ring = ring
+        self.probes = list(probes)
+        self.samples: Dict[str, List[int]] = {p.name: [] for p in probes}
+        self._last_bus = 0
+        for probe in probes:
+            if probe.layer >= 0:
+                ring.dnode(probe.layer, probe.position)  # validate address
+        ring.set_trace(self._capture)
+
+    def detach(self) -> None:
+        """Stop recording (removes the ring hook)."""
+        self.ring.set_trace(None)
+
+    def _capture(self, ring: Ring) -> None:
+        for probe in self.probes:
+            if probe.layer < 0:
+                value = self._last_bus
+            else:
+                dn = ring.dnode(probe.layer, probe.position)
+                value = dn.out if probe.register is None \
+                    else dn.regs.read(probe.register)
+            self.samples[probe.name].append(value)
+
+    def observe_bus(self, value: int) -> None:
+        """Tell the trace what the bus carries (systems call this)."""
+        self._last_bus = word.check(value, "bus")
+
+    @property
+    def cycles(self) -> int:
+        return len(next(iter(self.samples.values())))
+
+    def render(self, signed: bool = True, last: Optional[int] = None,
+               ) -> str:
+        """ASCII timing diagram: one row per signal, one column per cycle."""
+        if self.cycles == 0:
+            raise SimulationError("nothing traced yet")
+        names = [p.name for p in self.probes]
+        name_w = max(len(n) for n in names)
+        count = self.cycles if last is None else min(last, self.cycles)
+        start = self.cycles - count
+        cell = 7
+        header = " " * name_w + " |" + "".join(
+            str(start + i).rjust(cell) for i in range(count))
+        lines = [header, "-" * len(header)]
+        for name in names:
+            values = self.samples[name][start:]
+            rendered = "".join(
+                (str(word.to_signed(v)) if signed else f"{v:04x}")
+                .rjust(cell)
+                for v in values)
+            lines.append(f"{name.ljust(name_w)} |{rendered}")
+        return "\n".join(lines)
+
+
+def write_vcd(trace: SignalTrace, path, timescale: str = "5 ns",
+              module: str = "systolic_ring") -> None:
+    """Export a trace as an IEEE-1364 VCD file (GTKWave-loadable).
+
+    One VCD time unit per fabric cycle (the default 5 ns = 200 MHz).
+    Only value *changes* are dumped, per the format.
+    """
+    if trace.cycles == 0:
+        raise SimulationError("nothing traced yet")
+    identifiers = {}
+    for i, probe in enumerate(trace.probes):
+        # printable VCD id characters start at '!'
+        identifiers[probe.name] = chr(33 + i)
+    lines = [
+        "$date reproduction run $end",
+        "$version repro systolic-ring tracer $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for probe in trace.probes:
+        safe = probe.name.replace(".", "_")
+        lines.append(
+            f"$var wire 16 {identifiers[probe.name]} {safe} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+
+    previous: Dict[str, Optional[int]] = {p.name: None
+                                          for p in trace.probes}
+    for t in range(trace.cycles):
+        changes = []
+        for probe in trace.probes:
+            value = trace.samples[probe.name][t]
+            if value != previous[probe.name]:
+                changes.append(
+                    f"b{value:016b} {identifiers[probe.name]}")
+                previous[probe.name] = value
+        if changes:
+            lines.append(f"#{t}")
+            lines.extend(changes)
+    lines.append(f"#{trace.cycles}")
+    text = "\n".join(lines) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def parse_vcd(path) -> Dict[str, List[Tuple[int, int]]]:
+    """Minimal VCD reader: signal name -> [(time, value), ...].
+
+    Exists so tests (and users) can verify exported waveforms without an
+    external viewer; handles exactly the subset :func:`write_vcd` emits.
+    """
+    names: Dict[str, str] = {}
+    changes: Dict[str, List[Tuple[int, int]]] = {}
+    time = 0
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line.startswith("$var"):
+                parts = line.split()
+                names[parts[3]] = parts[4]
+                changes[parts[4]] = []
+            elif line.startswith("#"):
+                time = int(line[1:])
+            elif line.startswith("b"):
+                value_text, ident = line[1:].split()
+                changes[names[ident]].append((time, int(value_text, 2)))
+    return changes

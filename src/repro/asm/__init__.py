@@ -1,0 +1,31 @@
+"""Two-level assembler for the Systolic Ring.
+
+Paper §5.1: "To program this structure we wrote an assembling tool, which
+parse both RISC level (for the control) and Ring level assembler
+primitives.  It directly generates the machine object code, ready to be
+executed in the architecture."
+
+* :mod:`repro.asm.microasm` — Ring-level primitives: textual Dnode
+  microinstructions <-> :class:`~repro.core.isa.MicroWord`.
+* :mod:`repro.asm.parser` / :mod:`repro.asm.assembler` — the full
+  two-section source language (``.ring`` fabric configuration planes,
+  ``.risc`` management code) down to object code.
+* :mod:`repro.asm.objcode` — the binary object-code container.
+* :mod:`repro.asm.loader` — object code -> a ready-to-run
+  :class:`~repro.host.system.RingSystem`.
+"""
+
+from repro.asm.microasm import format_dnode_op, parse_dnode_op, parse_route
+from repro.asm.objcode import ObjectCode, PlaneSpec
+from repro.asm.assembler import assemble
+from repro.asm.loader import load_system
+
+__all__ = [
+    "format_dnode_op",
+    "parse_dnode_op",
+    "parse_route",
+    "ObjectCode",
+    "PlaneSpec",
+    "assemble",
+    "load_system",
+]

@@ -1,0 +1,398 @@
+"""The assembler proper: parsed source -> machine object code.
+
+Resolution performed here:
+
+* Ring-level microinstructions and routes are encoded into the
+  configuration ROM (deduplicated — identical words share one entry);
+* each ``.ring`` section becomes a :class:`~repro.asm.objcode.PlaneSpec`;
+  the first section is the initial plane applied at load time;
+* RISC labels are resolved over two passes (branches are PC-relative to
+  the next instruction, jumps absolute);
+* ``cfgword``/``cfgroute`` pseudo-ops bind names to ROM entries usable by
+  the configuration instructions;
+* every address is validated against the target ring geometry, so the
+  object code cannot reference a Dnode or switch that does not exist.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.asm.microasm import parse_dnode_op, parse_route
+from repro.asm.objcode import ObjectCode, PlaneSpec
+from repro.asm.parser import ProgramSource, RiscStmt, parse_source
+from repro.controller.isa import Instruction, ROp, encode_instruction
+from repro.core.isa import encode as encode_microword
+from repro.core.local_controller import NUM_SLOTS
+from repro.core.switch import encode_route
+from repro.errors import AssemblerError
+
+_REG_RE = re.compile(r"^r(\d+)$", re.IGNORECASE)
+_DNODE_RE = re.compile(r"^d(\d+)\.(\d+)$", re.IGNORECASE)
+_SWITCH_RE = re.compile(r"^s(\d+)\.(\d+)\.([12])$", re.IGNORECASE)
+
+#: three-register ALU mnemonics, shared encoding path
+_ALU3 = {
+    "add": ROp.ADD, "sub": ROp.SUB, "and": ROp.AND, "or": ROp.OR,
+    "xor": ROp.XOR, "shl": ROp.SHL, "shr": ROp.SHR,
+    "sar": ROp.SAR, "mul": ROp.MUL,
+}
+_BRANCH2 = {
+    "beq": ROp.BEQ, "bne": ROp.BNE, "blt": ROp.BLT, "bge": ROp.BGE,
+}
+
+
+class _RomBuilder:
+    """Deduplicating configuration-ROM builder with a name table."""
+
+    def __init__(self):
+        self.entries: List[int] = []
+        self._index: Dict[int, int] = {}
+        self.names: Dict[str, int] = {}
+
+    def add(self, entry: int) -> int:
+        if entry in self._index:
+            return self._index[entry]
+        index = len(self.entries)
+        self.entries.append(entry)
+        self._index[entry] = index
+        return index
+
+    def bind(self, name: str, entry: int, line: int) -> int:
+        if name in self.names:
+            raise AssemblerError(f"duplicate cfg name {name!r}", line)
+        index = self.add(entry)
+        self.names[name] = index
+        return index
+
+    def lookup(self, name: str, line: int) -> int:
+        if name not in self.names:
+            raise AssemblerError(f"undefined cfg name {name!r}", line)
+        return self.names[name]
+
+
+def assemble(text: str, layers: int, width: int = 2) -> ObjectCode:
+    """Assemble two-level source *text* for a *layers* x *width* ring.
+
+    Returns:
+        A complete :class:`~repro.asm.objcode.ObjectCode` image.
+
+    Raises:
+        AssemblerError: with line information on the first error found.
+    """
+    source = parse_source(text)
+    rom = _RomBuilder()
+    planes = _build_planes(source, rom, layers, width)
+    program, symbols = _build_program(source, rom, layers, width, planes)
+    return ObjectCode(
+        layers=layers,
+        width=width,
+        cfg_rom=rom.entries,
+        program=program,
+        planes=planes,
+        initial_plane=0 if planes else None,
+        symbols=symbols,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ring sections -> planes
+# ----------------------------------------------------------------------
+
+def _build_planes(source: ProgramSource, rom: _RomBuilder,
+                  layers: int, width: int) -> List[PlaneSpec]:
+    planes: List[PlaneSpec] = []
+    seen = set()
+    for section in source.ring_sections:
+        if section.name in seen:
+            raise AssemblerError(
+                f"duplicate plane name {section.name!r}", section.line
+            )
+        seen.add(section.name)
+        plane = PlaneSpec(section.name)
+        for stmt in section.dnodes:
+            if not (0 <= stmt.layer < layers and 0 <= stmt.position < width):
+                raise AssemblerError(
+                    f"dnode {stmt.layer}.{stmt.position} outside "
+                    f"{layers}x{width} ring",
+                    stmt.line,
+                )
+            flat = stmt.layer * width + stmt.position
+            words = [
+                parse_dnode_op(op, line)
+                for op, line in zip(stmt.ops, stmt.op_lines)
+            ]
+            if stmt.mode == "global":
+                if len(words) != 1:
+                    raise AssemblerError(
+                        f"global-mode dnode needs exactly 1 "
+                        f"microinstruction, got {len(words)}",
+                        stmt.line,
+                    )
+                plane.dnode_words.append(
+                    (flat, rom.add(encode_microword(words[0])))
+                )
+                plane.modes.append((flat, 0))
+            else:
+                if not 1 <= len(words) <= NUM_SLOTS:
+                    raise AssemblerError(
+                        f"local program must have 1..{NUM_SLOTS} "
+                        f"microinstructions, got {len(words)}",
+                        stmt.line,
+                    )
+                for slot, mw in enumerate(words):
+                    plane.local_slots.append(
+                        (flat, slot, rom.add(encode_microword(mw)))
+                    )
+                plane.local_limits.append((flat, len(words)))
+                plane.modes.append((flat, 1))
+        for route in section.routes:
+            if route.position == -1:
+                continue  # `switch K` header marker
+            if not 0 <= route.switch < layers:
+                raise AssemblerError(
+                    f"switch {route.switch} outside ring of {layers} layers",
+                    route.line,
+                )
+            if not 0 <= route.position < width:
+                raise AssemblerError(
+                    f"route position {route.position} outside width {width}",
+                    route.line,
+                )
+            src = parse_route(route.source_text, route.line)
+            plane.routes.append(
+                (route.switch, route.position, route.port,
+                 rom.add(encode_route(src)))
+            )
+        planes.append(plane)
+    return planes
+
+
+# ----------------------------------------------------------------------
+# RISC section -> controller binary
+# ----------------------------------------------------------------------
+
+def _build_program(source: ProgramSource, rom: _RomBuilder,
+                   layers: int, width: int,
+                   planes: List[PlaneSpec]) -> tuple:
+    # Pass 0: register cfgword/cfgroute names, collect real instructions.
+    real_statements: List[RiscStmt] = []
+    labels: Dict[str, int] = {}
+    for stmt in source.risc_statements:
+        if stmt.mnemonic in ("cfgword", "cfgroute"):
+            # The second operand is the whole microinstruction/route text,
+            # which itself contains commas: re-join the split tail.
+            if len(stmt.operands) < 2:
+                raise AssemblerError(
+                    f"{stmt.mnemonic} expects a name and a definition",
+                    stmt.line,
+                )
+            name, definition = stmt.operands[0], ", ".join(stmt.operands[1:])
+            if stmt.mnemonic == "cfgword":
+                entry = encode_microword(parse_dnode_op(definition,
+                                                        stmt.line))
+            else:
+                entry = encode_route(parse_route(definition, stmt.line))
+            rom.bind(name, entry, stmt.line)
+            _bind_labels(labels, stmt, len(real_statements))
+            continue
+        _bind_labels(labels, stmt, len(real_statements))
+        real_statements.append(stmt)
+
+    plane_names = {plane.name: i for i, plane in enumerate(planes)}
+    program: List[int] = []
+    for addr, stmt in enumerate(real_statements):
+        instr = _encode_statement(stmt, addr, labels, rom, layers, width,
+                                  plane_names)
+        program.append(encode_instruction(instr))
+    return program, dict(labels)
+
+
+def _bind_labels(labels: Dict[str, int], stmt: RiscStmt, addr: int) -> None:
+    for label in stmt.labels:
+        if label in labels:
+            raise AssemblerError(f"duplicate label {label!r}", stmt.line)
+        labels[label] = addr
+
+
+def _require(stmt: RiscStmt, count: int) -> None:
+    if len(stmt.operands) != count:
+        raise AssemblerError(
+            f"{stmt.mnemonic} expects {count} operand(s), "
+            f"got {len(stmt.operands)}",
+            stmt.line,
+        )
+
+
+def _reg(token: str, line: int) -> int:
+    match = _REG_RE.match(token.strip())
+    if not match or int(match.group(1)) > 15:
+        raise AssemblerError(f"expected register r0..r15, got {token!r}", line)
+    return int(match.group(1))
+
+
+def _int(token: str, line: int) -> int:
+    try:
+        return int(token.strip(), 0)
+    except ValueError:
+        raise AssemblerError(f"expected a number, got {token!r}", line)
+
+
+def _dnode(token: str, line: int, layers: int, width: int) -> int:
+    match = _DNODE_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(
+            f"expected dnode reference dL.P, got {token!r}", line
+        )
+    layer, pos = int(match.group(1)), int(match.group(2))
+    if not (0 <= layer < layers and 0 <= pos < width):
+        raise AssemblerError(
+            f"dnode {layer}.{pos} outside {layers}x{width} ring", line
+        )
+    return layer * width + pos
+
+
+def _label_or_int(token: str, labels: Dict[str, int], line: int) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    return _int(token, line)
+
+
+def _encode_statement(stmt: RiscStmt, addr: int, labels: Dict[str, int],
+                      rom: _RomBuilder, layers: int, width: int,
+                      plane_names: Dict[str, int]) -> Instruction:
+    m, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+    try:
+        if m == "nop":
+            _require(stmt, 0)
+            return Instruction(ROp.NOP)
+        if m == "halt":
+            _require(stmt, 0)
+            return Instruction(ROp.HALT)
+        if m == "ldi":
+            _require(stmt, 2)
+            return Instruction(ROp.LDI, rd=_reg(ops[0], line),
+                               imm=_int(ops[1], line) & 0xFFFF)
+        if m == "mov":
+            _require(stmt, 2)
+            return Instruction(ROp.MOV, rd=_reg(ops[0], line),
+                               rs=_reg(ops[1], line))
+        if m in _ALU3:
+            _require(stmt, 3)
+            return Instruction(_ALU3[m], rd=_reg(ops[0], line),
+                               rs=_reg(ops[1], line), rt=_reg(ops[2], line))
+        if m == "addi":
+            _require(stmt, 3)
+            return Instruction(ROp.ADDI, rd=_reg(ops[0], line),
+                               rs=_reg(ops[1], line), imm=_int(ops[2], line))
+        if m in _BRANCH2:
+            _require(stmt, 3)
+            target = _label_or_int(ops[2], labels, line)
+            return Instruction(_BRANCH2[m], rs=_reg(ops[0], line),
+                               rt=_reg(ops[1], line), imm=target - addr - 1)
+        if m in ("jmp", "jal"):
+            _require(stmt, 1)
+            op = ROp.JMP if m == "jmp" else ROp.JAL
+            return Instruction(op, imm=_label_or_int(ops[0], labels, line))
+        if m == "jr":
+            _require(stmt, 1)
+            return Instruction(ROp.JR, rs=_reg(ops[0], line))
+        if m == "lw":
+            _require(stmt, 3)
+            return Instruction(ROp.LW, rd=_reg(ops[0], line),
+                               rs=_reg(ops[1], line), imm=_int(ops[2], line))
+        if m == "sw":
+            _require(stmt, 3)
+            return Instruction(ROp.SW, rt=_reg(ops[0], line),
+                               rs=_reg(ops[1], line), imm=_int(ops[2], line))
+        if m == "cfgdi":
+            _require(stmt, 2)
+            return Instruction(ROp.CFGDI,
+                               dnode=_dnode(ops[0], line, layers, width),
+                               cfg=rom.lookup(ops[1], line))
+        if m == "cfgd":
+            _require(stmt, 2)
+            return Instruction(ROp.CFGD, rs=_reg(ops[0], line),
+                               rt=_reg(ops[1], line))
+        if m == "cfgl":
+            _require(stmt, 3)
+            return Instruction(ROp.CFGL,
+                               dnode=_dnode(ops[0], line, layers, width),
+                               slot=_int(ops[1], line),
+                               cfg=rom.lookup(ops[2], line))
+        if m == "cfglim":
+            _require(stmt, 2)
+            return Instruction(ROp.CFGLIM,
+                               dnode=_dnode(ops[0], line, layers, width),
+                               limit=_int(ops[1], line))
+        if m == "cfgmode":
+            _require(stmt, 2)
+            mode = ops[1].strip().lower()
+            if mode not in ("global", "local"):
+                raise AssemblerError(
+                    f"cfgmode expects global|local, got {ops[1]!r}", line
+                )
+            return Instruction(ROp.CFGMODE,
+                               dnode=_dnode(ops[0], line, layers, width),
+                               mode=1 if mode == "local" else 0)
+        if m == "cfgs":
+            _require(stmt, 2)
+            match = _SWITCH_RE.match(ops[0].strip())
+            if not match:
+                raise AssemblerError(
+                    f"expected switch target sK.P.Q, got {ops[0]!r}", line
+                )
+            sw, pos, port = (int(match.group(1)), int(match.group(2)),
+                             int(match.group(3)))
+            if sw >= layers or pos >= width:
+                raise AssemblerError(
+                    f"switch target {ops[0]} outside {layers}x{width} ring",
+                    line,
+                )
+            return Instruction(ROp.CFGS, sw=sw, pos=pos, port=port,
+                               cfg=rom.lookup(ops[1], line))
+        if m == "cfgimm":
+            _require(stmt, 3)
+            return Instruction(ROp.CFGIMM,
+                               dnode=_dnode(ops[0], line, layers, width),
+                               cfg=rom.lookup(ops[1], line),
+                               rs=_reg(ops[2], line))
+        if m == "rdd":
+            _require(stmt, 2)
+            return Instruction(ROp.RDD, rd=_reg(ops[0], line),
+                               dnode=_dnode(ops[1], line, layers, width))
+        if m == "cfgplane":
+            _require(stmt, 1)
+            name = ops[0].strip()
+            if name not in plane_names:
+                raise AssemblerError(f"unknown plane {name!r}", line)
+            return Instruction(ROp.CFGPLANE, plane=plane_names[name])
+        if m == "busw":
+            _require(stmt, 1)
+            return Instruction(ROp.BUSW, rs=_reg(ops[0], line))
+        if m == "inw":
+            _require(stmt, 2)
+            return Instruction(ROp.INW, rd=_reg(ops[0], line),
+                               ch=_int(ops[1], line))
+        if m == "outw":
+            _require(stmt, 2)
+            return Instruction(ROp.OUTW, ch=_int(ops[0], line),
+                               rs=_reg(ops[1], line))
+        if m == "bfe":
+            _require(stmt, 2)
+            target = _label_or_int(ops[1], labels, line)
+            return Instruction(ROp.BFE, ch=_int(ops[0], line),
+                               imm=target - addr - 1)
+        if m == "waiti":
+            _require(stmt, 1)
+            return Instruction(ROp.WAITI, imm=_int(ops[0], line))
+    except AssemblerError:
+        raise
+    except Exception as exc:
+        raise AssemblerError(str(exc), line)
+    raise AssemblerError(f"unknown mnemonic {m!r}", line)
+
+
+__all__ = ["assemble", "parse_source"]

@@ -1,0 +1,150 @@
+"""Disassembler: object code back to readable two-level listings.
+
+The inverse of the assembler, for debugging loadable images: renders the
+controller program with resolved labels and the configuration planes
+with decoded microinstructions and routes.  The `.ring` part of a
+disassembly is itself valid assembler input; the controller listing is
+annotated (addresses, symbols) and meant for humans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.asm.microasm import format_dnode_op, format_route
+from repro.asm.objcode import ObjectCode, PlaneSpec
+from repro.controller.isa import FORMATS, Instruction, ROp, decode_program
+from repro.core.isa import decode as decode_microword
+from repro.core.switch import decode_route
+
+_BRANCH_OPS = frozenset({ROp.BEQ, ROp.BNE, ROp.BLT, ROp.BGE, ROp.BFE})
+_JUMP_OPS = frozenset({ROp.JMP, ROp.JAL})
+
+
+def _format_instruction(instr: Instruction, address: int,
+                        labels: Dict[int, str],
+                        obj: ObjectCode) -> str:
+    op = instr.op
+    name = op.name.lower()
+    if op in (ROp.NOP, ROp.HALT):
+        return name
+    if op is ROp.LDI:
+        return f"ldi r{instr.rd}, {instr.imm}"
+    if op is ROp.MOV:
+        return f"mov r{instr.rd}, r{instr.rs}"
+    if op in (ROp.ADD, ROp.SUB, ROp.AND, ROp.OR, ROp.XOR, ROp.SHL,
+              ROp.SHR, ROp.SAR, ROp.MUL):
+        return f"{name} r{instr.rd}, r{instr.rs}, r{instr.rt}"
+    if op is ROp.ADDI:
+        return f"addi r{instr.rd}, r{instr.rs}, {instr.imm}"
+    if op in (ROp.BEQ, ROp.BNE, ROp.BLT, ROp.BGE):
+        target = address + 1 + instr.imm
+        return (f"{name} r{instr.rs}, r{instr.rt}, "
+                f"{labels.get(target, target)}")
+    if op in _JUMP_OPS:
+        return f"{name} {labels.get(instr.imm, instr.imm)}"
+    if op is ROp.JR:
+        return f"jr r{instr.rs}"
+    if op is ROp.LW:
+        return f"lw r{instr.rd}, r{instr.rs}, {instr.imm}"
+    if op is ROp.SW:
+        return f"sw r{instr.rt}, r{instr.rs}, {instr.imm}"
+    if op is ROp.CFGDI:
+        layer, pos = divmod(instr.dnode, obj.width)
+        text = format_dnode_op(decode_microword(obj.cfg_rom[instr.cfg]))
+        return f"cfgdi d{layer}.{pos}, [{text}]"
+    if op is ROp.CFGD:
+        return f"cfgd r{instr.rs}, r{instr.rt}"
+    if op is ROp.CFGL:
+        layer, pos = divmod(instr.dnode, obj.width)
+        text = format_dnode_op(decode_microword(obj.cfg_rom[instr.cfg]))
+        return f"cfgl d{layer}.{pos}, {instr.slot}, [{text}]"
+    if op is ROp.CFGLIM:
+        layer, pos = divmod(instr.dnode, obj.width)
+        return f"cfglim d{layer}.{pos}, {instr.limit}"
+    if op is ROp.CFGMODE:
+        layer, pos = divmod(instr.dnode, obj.width)
+        mode = "local" if instr.mode else "global"
+        return f"cfgmode d{layer}.{pos}, {mode}"
+    if op is ROp.CFGS:
+        route = format_route(decode_route(obj.cfg_rom[instr.cfg]))
+        return (f"cfgs s{instr.sw}.{instr.pos}.{instr.port}, [{route}]")
+    if op is ROp.CFGIMM:
+        layer, pos = divmod(instr.dnode, obj.width)
+        text = format_dnode_op(decode_microword(obj.cfg_rom[instr.cfg]))
+        return f"cfgimm d{layer}.{pos}, [{text}], r{instr.rs}"
+    if op is ROp.RDD:
+        layer, pos = divmod(instr.dnode, obj.width)
+        return f"rdd r{instr.rd}, d{layer}.{pos}"
+    if op is ROp.CFGPLANE:
+        if 0 <= instr.plane < len(obj.planes):
+            return f"cfgplane {obj.planes[instr.plane].name}"
+        return f"cfgplane {instr.plane}"
+    if op is ROp.BUSW:
+        return f"busw r{instr.rs}"
+    if op is ROp.INW:
+        return f"inw r{instr.rd}, {instr.ch}"
+    if op is ROp.OUTW:
+        return f"outw {instr.ch}, r{instr.rs}"
+    if op is ROp.WAITI:
+        return f"waiti {instr.imm}"
+    if op is ROp.BFE:
+        target = address + 1 + instr.imm
+        return f"bfe {instr.ch}, {labels.get(target, target)}"
+    # fall back to the generic field dump
+    fields = ", ".join(f"{n}={getattr(instr, n)}" for n, _, _ in FORMATS[op])
+    return f"{name} {fields}"
+
+
+def disassemble_plane(obj: ObjectCode, plane: PlaneSpec) -> str:
+    """Render one configuration plane as (valid) `.ring` assembly."""
+    lines = [f".ring {plane.name}"]
+    modes = dict(plane.modes)
+    slots_by_dnode: Dict[int, Dict[int, int]] = {}
+    for dnode, slot, rom in plane.local_slots:
+        slots_by_dnode.setdefault(dnode, {})[slot] = rom
+    limits = dict(plane.local_limits)
+
+    for dnode, rom in sorted(plane.dnode_words):
+        layer, pos = divmod(dnode, obj.width)
+        lines.append(f"dnode {layer}.{pos} global")
+        lines.append("    " + format_dnode_op(
+            decode_microword(obj.cfg_rom[rom])))
+    for dnode in sorted(slots_by_dnode):
+        layer, pos = divmod(dnode, obj.width)
+        lines.append(f"dnode {layer}.{pos} local")
+        limit = limits.get(dnode, max(slots_by_dnode[dnode]) + 1)
+        for slot in range(limit):
+            rom = slots_by_dnode[dnode].get(slot)
+            text = format_dnode_op(decode_microword(obj.cfg_rom[rom])) \
+                if rom is not None else "nop"
+            lines.append("    " + text)
+
+    by_switch: Dict[int, List] = {}
+    for sw, pos, port, rom in plane.routes:
+        by_switch.setdefault(sw, []).append((pos, port, rom))
+    for sw in sorted(by_switch):
+        lines.append(f"switch {sw}")
+        for pos, port, rom in sorted(by_switch[sw]):
+            route = format_route(decode_route(obj.cfg_rom[rom]))
+            lines.append(f"    route {pos}.{port} <- {route}")
+    return "\n".join(lines)
+
+
+def disassemble(obj: ObjectCode) -> str:
+    """Full listing: every plane plus the annotated controller program."""
+    sections = [
+        f"; object code for a {obj.layers}x{obj.width} ring "
+        f"({len(obj.cfg_rom)} ROM entries)"
+    ]
+    for plane in obj.planes:
+        sections.append(disassemble_plane(obj, plane))
+    if obj.program:
+        labels = {addr: name for name, addr in obj.symbols.items()}
+        lines = [".risc"]
+        for address, instr in enumerate(decode_program(obj.program)):
+            label = f"{labels[address]}:" if address in labels else ""
+            text = _format_instruction(instr, address, labels, obj)
+            lines.append(f"{label:<10}{text:<40}; {address:04x}")
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections) + "\n"

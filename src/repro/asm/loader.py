@@ -1,0 +1,106 @@
+"""Loader: object code -> a ready-to-run RingSystem.
+
+Models the functional flow of paper §3: "The host processor first uploads
+the management code to the configuration controller memory ... Once done,
+our core is ready to compute."  Concretely the loader:
+
+1. builds a :class:`~repro.core.ring.Ring` matching the object geometry,
+2. decodes the controller binary and attaches a
+   :class:`~repro.controller.core.RiscController` loaded with the
+   configuration ROM (skipped when the program is empty — a pure
+   local-mode application),
+3. materialises each :class:`~repro.asm.objcode.PlaneSpec` into a
+   :class:`~repro.core.config_memory.ConfigPlane`,
+4. applies the initial plane, leaving the fabric configured as the
+   ``.ring`` source described it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.objcode import ObjectCode, PlaneSpec
+from repro.controller.core import RiscController
+from repro.controller.isa import decode_program
+from repro.core.config_memory import ConfigPlane
+from repro.core.dnode import DnodeMode
+from repro.core.isa import MicroWord, decode as decode_microword
+from repro.core.ring import Ring, RingGeometry
+from repro.core.switch import PortSource, decode_route
+from repro.errors import LoaderError
+from repro.host.system import RingSystem
+
+
+def _rom_entry(obj: ObjectCode, index: int) -> int:
+    if not 0 <= index < len(obj.cfg_rom):
+        raise LoaderError(
+            f"ROM reference {index} outside 0..{len(obj.cfg_rom) - 1}"
+        )
+    return obj.cfg_rom[index]
+
+
+def materialize_plane(obj: ObjectCode, spec: PlaneSpec) -> ConfigPlane:
+    """Resolve a PlaneSpec's ROM references into a concrete ConfigPlane."""
+    width = obj.width
+    micro: Dict[Tuple[int, int], MicroWord] = {}
+    modes: Dict[Tuple[int, int], DnodeMode] = {}
+    local: Dict[Tuple[int, int], Tuple[Tuple[MicroWord, ...], int]] = {}
+    routes: Dict[Tuple[int, int, int], PortSource] = {}
+
+    for flat, rom_index in spec.dnode_words:
+        addr = divmod(flat, width)
+        micro[addr] = decode_microword(_rom_entry(obj, rom_index))
+    for flat, mode in spec.modes:
+        addr = divmod(flat, width)
+        modes[addr] = DnodeMode.LOCAL if mode else DnodeMode.GLOBAL
+
+    slots_by_dnode: Dict[Tuple[int, int], Dict[int, MicroWord]] = {}
+    for flat, slot, rom_index in spec.local_slots:
+        addr = divmod(flat, width)
+        slots_by_dnode.setdefault(addr, {})[slot] = decode_microword(
+            _rom_entry(obj, rom_index)
+        )
+    limits = {divmod(flat, width): limit
+              for flat, limit in spec.local_limits}
+    for addr, slot_map in slots_by_dnode.items():
+        limit = limits.get(addr, max(slot_map) + 1)
+        ordered = tuple(
+            slot_map.get(i, MicroWord()) for i in range(max(limit,
+                                                            max(slot_map) + 1))
+        )
+        local[addr] = (ordered, limit)
+    for addr, limit in limits.items():
+        if addr not in local:
+            local[addr] = ((MicroWord(),) * limit, limit)
+
+    for sw, pos, port, rom_index in spec.routes:
+        routes[(sw, pos, port)] = decode_route(_rom_entry(obj, rom_index))
+
+    return ConfigPlane(micro, modes, local, routes)
+
+
+def load_system(obj: ObjectCode,
+                strict_fifos: bool = False) -> RingSystem:
+    """Instantiate and configure a full accelerator from object code."""
+    geometry = RingGeometry(layers=obj.layers, width=obj.width)
+    ring = Ring(geometry, strict_fifos=strict_fifos)
+
+    planes: List[ConfigPlane] = [
+        materialize_plane(obj, spec) for spec in obj.planes
+    ]
+
+    controller: Optional[RiscController] = None
+    if obj.program:
+        controller = RiscController(
+            decode_program(obj.program), cfg_rom=list(obj.cfg_rom)
+        )
+
+    system = RingSystem(ring, controller, planes)
+    if obj.initial_plane is not None:
+        if not 0 <= obj.initial_plane < len(planes):
+            raise LoaderError(
+                f"initial plane {obj.initial_plane} outside "
+                f"0..{len(planes) - 1}"
+            )
+        ring.config.apply_plane(planes[obj.initial_plane])
+    return system

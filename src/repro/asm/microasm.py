@@ -1,0 +1,247 @@
+"""Ring-level assembler primitives: Dnode microinstruction text syntax.
+
+Syntax (one microinstruction)::
+
+    <op> <dst>, <srcA> [, <srcB>] [#imm] [flag,flag]
+
+* ``dst``: ``r0..r3``, ``out`` or ``none``.
+* sources: ``r0..r3``, ``in1``, ``in2``, ``fifo1``, ``fifo2``, ``bus``,
+  ``self``, ``zero``, ``rp(i,j)``, or an immediate literal ``#n`` (which
+  selects the IMM source and stores *n* in the microword).
+* flags: ``[wout]`` mirror result to OUT, ``[pop1]``/``[pop2]`` consume a
+  FIFO head this cycle.
+
+Examples::
+
+    mac r0, in1, in2 [pop1]
+    absdiff out, fifo1, fifo2 [pop1,pop2]
+    add out, rp(2,1), #-5
+    nop
+
+Route syntax (switch configuration operands)::
+
+    up<j> | rp(i,j) | host<c> | bus | zero
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro import word
+from repro.core.isa import (
+    Dest,
+    Flag,
+    MicroWord,
+    Opcode,
+    Source,
+    is_binary_op,
+)
+from repro.core.switch import PortSource
+from repro.errors import AssemblerError
+
+_SOURCE_NAMES: Dict[str, Source] = {
+    "r0": Source.R0,
+    "r1": Source.R1,
+    "r2": Source.R2,
+    "r3": Source.R3,
+    "in1": Source.IN1,
+    "in2": Source.IN2,
+    "fifo1": Source.FIFO1,
+    "fifo2": Source.FIFO2,
+    "bus": Source.BUS,
+    "imm": Source.IMM,
+    "self": Source.SELF,
+    "zero": Source.ZERO,
+}
+
+_DEST_NAMES: Dict[str, Dest] = {
+    "r0": Dest.R0,
+    "r1": Dest.R1,
+    "r2": Dest.R2,
+    "r3": Dest.R3,
+    "out": Dest.OUT,
+    "none": Dest.NONE,
+}
+
+_FLAG_NAMES: Dict[str, Flag] = {
+    "wout": Flag.WRITE_OUT,
+    "pop1": Flag.POP_FIFO1,
+    "pop2": Flag.POP_FIFO2,
+}
+
+_RP_RE = re.compile(r"^rp\(\s*(\d+)\s*,\s*(\d+)\s*\)$")
+_IMM_RE = re.compile(r"^#(-?(?:0x[0-9a-fA-F]+|\d+))$")
+_FLAGS_RE = re.compile(r"\[([^\]]*)\]")
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _split_top_level(text: str) -> list:
+    """Split on commas that are not inside parentheses (``rp(i,j)``)."""
+    out = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        out.append(tail)
+    return [tok for tok in out if tok]
+
+
+def _parse_source(token: str, line: Optional[int]) -> Source:
+    token = token.strip().lower()
+    source = _SOURCE_NAMES.get(token)
+    if source is not None:
+        return source
+    match = _RP_RE.match(token)
+    if match:
+        return Source.rp(int(match.group(1)), int(match.group(2)))
+    raise AssemblerError(f"unknown operand source {token!r}", line)
+
+
+def parse_dnode_op(text: str, line: Optional[int] = None) -> MicroWord:
+    """Parse one Ring-level microinstruction line into a MicroWord.
+
+    Raises:
+        AssemblerError: on any syntax or range error, annotated with
+            *line* when given.
+    """
+    body = text.strip()
+    if not body:
+        raise AssemblerError("empty microinstruction", line)
+
+    flags = Flag.NONE
+    flag_match = _FLAGS_RE.search(body)
+    if flag_match:
+        for name in flag_match.group(1).split(","):
+            name = name.strip().lower()
+            if not name:
+                continue
+            flag = _FLAG_NAMES.get(name)
+            if flag is None:
+                raise AssemblerError(f"unknown flag {name!r}", line)
+            flags |= flag
+        body = _FLAGS_RE.sub("", body).strip()
+
+    parts = body.split(None, 1)
+    mnemonic = parts[0].lower()
+    try:
+        op = Opcode[mnemonic.upper()]
+    except KeyError:
+        raise AssemblerError(f"unknown Dnode opcode {mnemonic!r}", line)
+
+    operands = []
+    if len(parts) > 1:
+        operands = _split_top_level(parts[1])
+
+    if op is Opcode.NOP:
+        if operands:
+            raise AssemblerError("nop takes no operands", line)
+        return MicroWord(flags=flags)
+
+    if not operands:
+        raise AssemblerError(f"{mnemonic} needs a destination", line)
+    dst_name = operands[0].lower()
+    dst = _DEST_NAMES.get(dst_name)
+    if dst is None:
+        raise AssemblerError(f"unknown destination {dst_name!r}", line)
+
+    imm = 0
+    sources = []
+    for token in operands[1:]:
+        imm_match = _IMM_RE.match(token.replace(" ", ""))
+        if imm_match:
+            imm = word.from_signed(_parse_int(imm_match.group(1)))
+            sources.append(Source.IMM)
+        else:
+            sources.append(_parse_source(token, line))
+
+    expected = 2 if is_binary_op(op) else 1
+    if op in (Opcode.MADD, Opcode.MSUB):
+        # The third operand is the coefficient immediate: `madd out, a, b, #c`
+        if len(sources) == 3 and sources[2] is Source.IMM:
+            sources = sources[:2]
+    if len(sources) != expected:
+        raise AssemblerError(
+            f"{mnemonic} expects {expected} source operand(s), "
+            f"got {len(sources)}",
+            line,
+        )
+    src_a = sources[0]
+    src_b = sources[1] if expected == 2 else Source.ZERO
+    try:
+        return MicroWord(op=op, src_a=src_a, src_b=src_b, dst=dst,
+                         flags=flags, imm=imm)
+    except Exception as exc:
+        raise AssemblerError(str(exc), line)
+
+
+def format_dnode_op(mw: MicroWord) -> str:
+    """Render a MicroWord back to canonical assembler text.
+
+    ``parse_dnode_op(format_dnode_op(mw))`` reproduces *mw* for every
+    encodable microword (round-trip property, tested).
+    """
+    if mw.op is Opcode.NOP:
+        text = "nop"
+    else:
+        tokens = [_format_operand(mw, mw.src_a)]
+        if mw.is_binary:
+            tokens.append(_format_operand(mw, mw.src_b))
+        if (mw.op in (Opcode.MADD, Opcode.MSUB)
+                and Source.IMM not in (mw.src_a, mw.src_b)):
+            tokens.append(f"#{word.to_signed(mw.imm)}")
+        dst_name = mw.dst.name.lower()
+        text = f"{mw.op.name.lower()} {dst_name}, " + ", ".join(tokens)
+    flags = [name for name, flag in _FLAG_NAMES.items() if mw.flags & flag]
+    if flags:
+        text += f" [{','.join(flags)}]"
+    return text
+
+
+def _format_operand(mw: MicroWord, src: Source) -> str:
+    if src is Source.IMM:
+        return f"#{word.to_signed(mw.imm)}"
+    if src.is_feedback:
+        return f"rp({src.feedback_stage},{src.feedback_lane})"
+    return src.name.lower()
+
+
+_UP_RE = re.compile(r"^up(\d+)$")
+_HOST_RE = re.compile(r"^host(\d+)$")
+
+
+def parse_route(text: str, line: Optional[int] = None) -> PortSource:
+    """Parse a switch routing operand (``up0``, ``rp(1,2)``, ``host3``...)."""
+    token = text.strip().lower()
+    if token == "zero":
+        return PortSource.zero()
+    if token == "bus":
+        return PortSource.bus()
+    match = _UP_RE.match(token)
+    if match:
+        return PortSource.up(int(match.group(1)))
+    match = _HOST_RE.match(token)
+    if match:
+        return PortSource.host(int(match.group(1)))
+    match = _RP_RE.match(token)
+    if match:
+        return PortSource.rp(int(match.group(1)), int(match.group(2)))
+    raise AssemblerError(f"unknown route source {token!r}", line)
+
+
+def format_route(source: PortSource) -> str:
+    """Render a PortSource back to assembler text."""
+    return str(source)

@@ -1,0 +1,179 @@
+"""Machine object-code container emitted by the assembler.
+
+The paper's tool "directly generates the machine object code, ready to be
+executed in the architecture".  Our object code bundles everything the
+loader needs to bring up a :class:`~repro.host.system.RingSystem`:
+
+* the configuration ROM (40-bit entries: Dnode microwords and 16-bit
+  switch-route words),
+* the encoded controller program (32-bit words),
+* configuration *planes* — named full/partial fabric snapshots referenced
+  by index from ``CFGPLANE`` and applied by the loader at start-up,
+* the symbol table (labels, for debuggers and tests).
+
+A compact binary serialisation (:meth:`ObjectCode.to_bytes` /
+:meth:`ObjectCode.from_bytes`) makes the object code a real artefact that
+can be written to disk and reloaded — the prototype's preloaded PRG memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.isa import MICROWORD_BITS
+from repro.errors import LoaderError
+
+MAGIC = b"SRNG"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class PlaneSpec:
+    """One named configuration plane, as ROM/raw references.
+
+    Every entry references the configuration ROM by index so a plane is
+    small even for large fabrics.
+    """
+
+    name: str
+    dnode_words: List[Tuple[int, int]] = field(default_factory=list)
+    modes: List[Tuple[int, int]] = field(default_factory=list)
+    local_slots: List[Tuple[int, int, int]] = field(default_factory=list)
+    local_limits: List[Tuple[int, int]] = field(default_factory=list)
+    routes: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+
+@dataclass
+class ObjectCode:
+    """A complete loadable application image."""
+
+    layers: int
+    width: int
+    cfg_rom: List[int] = field(default_factory=list)
+    program: List[int] = field(default_factory=list)
+    planes: List[PlaneSpec] = field(default_factory=list)
+    initial_plane: Optional[int] = None
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    def plane_index(self, name: str) -> int:
+        """Index of the plane called *name*."""
+        for i, plane in enumerate(self.planes):
+            if plane.name == name:
+                return i
+        raise LoaderError(f"no plane named {name!r}")
+
+    # ------------------------------------------------------------------
+    # Binary serialisation
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the on-disk object format."""
+        out = bytearray()
+        out += MAGIC
+        out += struct.pack(">BHH", FORMAT_VERSION, self.layers, self.width)
+        out += struct.pack(">I", len(self.cfg_rom))
+        for entry in self.cfg_rom:
+            if entry < 0 or entry >= (1 << MICROWORD_BITS):
+                raise LoaderError(f"ROM entry {entry!r} exceeds 40 bits")
+            out += entry.to_bytes(5, "big")
+        out += struct.pack(">I", len(self.program))
+        for instr in self.program:
+            out += struct.pack(">I", instr)
+        out += struct.pack(">H", len(self.planes))
+        for plane in self.planes:
+            name = plane.name.encode("utf-8")
+            out += struct.pack(">B", len(name)) + name
+            out += struct.pack(">I", len(plane.dnode_words))
+            for dnode, rom in plane.dnode_words:
+                out += struct.pack(">HI", dnode, rom)
+            out += struct.pack(">I", len(plane.modes))
+            for dnode, mode in plane.modes:
+                out += struct.pack(">HB", dnode, mode)
+            out += struct.pack(">I", len(plane.local_slots))
+            for dnode, slot, rom in plane.local_slots:
+                out += struct.pack(">HBI", dnode, slot, rom)
+            out += struct.pack(">I", len(plane.local_limits))
+            for dnode, limit in plane.local_limits:
+                out += struct.pack(">HB", dnode, limit)
+            out += struct.pack(">I", len(plane.routes))
+            for sw, pos, port, rom in plane.routes:
+                out += struct.pack(">HBBI", sw, pos, port, rom)
+        out += struct.pack(
+            ">i", -1 if self.initial_plane is None else self.initial_plane
+        )
+        out += struct.pack(">H", len(self.symbols))
+        for name, value in sorted(self.symbols.items()):
+            encoded = name.encode("utf-8")
+            out += struct.pack(">B", len(encoded)) + encoded
+            out += struct.pack(">I", value)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "ObjectCode":
+        """Parse the on-disk object format."""
+        reader = _Reader(blob)
+        if reader.take(4) != MAGIC:
+            raise LoaderError("bad object-code magic")
+        version, layers, width = reader.unpack(">BHH")
+        if version != FORMAT_VERSION:
+            raise LoaderError(f"unsupported object format version {version}")
+        (rom_count,) = reader.unpack(">I")
+        cfg_rom = [int.from_bytes(reader.take(5), "big")
+                   for _ in range(rom_count)]
+        (prog_count,) = reader.unpack(">I")
+        program = [reader.unpack(">I")[0] for _ in range(prog_count)]
+        (plane_count,) = reader.unpack(">H")
+        planes = []
+        for _ in range(plane_count):
+            (name_len,) = reader.unpack(">B")
+            name = reader.take(name_len).decode("utf-8")
+            plane = PlaneSpec(name)
+            (n,) = reader.unpack(">I")
+            plane.dnode_words = [reader.unpack(">HI") for _ in range(n)]
+            (n,) = reader.unpack(">I")
+            plane.modes = [reader.unpack(">HB") for _ in range(n)]
+            (n,) = reader.unpack(">I")
+            plane.local_slots = [reader.unpack(">HBI") for _ in range(n)]
+            (n,) = reader.unpack(">I")
+            plane.local_limits = [reader.unpack(">HB") for _ in range(n)]
+            (n,) = reader.unpack(">I")
+            plane.routes = [reader.unpack(">HBBI") for _ in range(n)]
+            planes.append(plane)
+        (initial,) = reader.unpack(">i")
+        (sym_count,) = reader.unpack(">H")
+        symbols = {}
+        for _ in range(sym_count):
+            (name_len,) = reader.unpack(">B")
+            name = reader.take(name_len).decode("utf-8")
+            (value,) = reader.unpack(">I")
+            symbols[name] = value
+        return cls(
+            layers=layers,
+            width=width,
+            cfg_rom=cfg_rom,
+            program=program,
+            planes=planes,
+            initial_plane=None if initial < 0 else initial,
+            symbols=symbols,
+        )
+
+
+class _Reader:
+    """Sequential byte reader with bounds checking."""
+
+    def __init__(self, blob: bytes):
+        self._blob = blob
+        self._offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self._offset + count > len(self._blob):
+            raise LoaderError("truncated object code")
+        chunk = self._blob[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def unpack(self, fmt: str) -> tuple:
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self.take(size))

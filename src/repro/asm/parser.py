@@ -1,0 +1,237 @@
+"""Line-level parser for the two-level assembly language.
+
+The source language has two section kinds introduced by directives:
+
+``.ring [<plane-name>]``
+    Fabric-configuration statements, grouped into one named configuration
+    plane per section (the first plane defaults to the *initial* plane the
+    loader applies before cycle 0):
+
+    * ``dnode <layer>.<pos> [global|local]`` followed by indented
+      microinstruction lines — one line for a global word, up to eight for
+      a local program;
+    * ``switch <k>`` followed by ``route <pos>.<port> <- <source>`` lines.
+
+``.risc``
+    Controller management code: one instruction per line, optional
+    ``label:`` prefixes, plus the ``cfgword``/``cfgroute`` pseudo-ops that
+    define named configuration-ROM entries.
+
+Comments start with ``;`` and run to end of line.  This module only
+recognises structure (sections, statements, labels); operand meaning is
+resolved by :mod:`repro.asm.assembler`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import AssemblerError
+
+_DNODE_HEAD_RE = re.compile(
+    r"^dnode\s+(\d+)\.(\d+)\s*(global|local)?$", re.IGNORECASE
+)
+_SWITCH_HEAD_RE = re.compile(r"^switch\s+(\d+)$", re.IGNORECASE)
+_ROUTE_RE = re.compile(
+    r"^route\s+(\d+)\.([12])\s*<-\s*(.+)$", re.IGNORECASE
+)
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+
+
+@dataclass
+class DnodeStmt:
+    """A ``dnode L.P`` block with its microinstruction lines."""
+
+    layer: int
+    position: int
+    mode: str            # "global" or "local"
+    ops: List[str] = field(default_factory=list)       # raw op text
+    op_lines: List[int] = field(default_factory=list)  # source lines
+    line: int = 0
+
+
+@dataclass
+class RouteStmt:
+    """A single ``route pos.port <- source`` statement."""
+
+    switch: int
+    position: int
+    port: int
+    source_text: str
+    line: int = 0
+
+
+@dataclass
+class RingSection:
+    """One ``.ring`` section (= one configuration plane)."""
+
+    name: str
+    dnodes: List[DnodeStmt] = field(default_factory=list)
+    routes: List[RouteStmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class RiscStmt:
+    """One controller statement with optional label(s)."""
+
+    labels: List[str]
+    mnemonic: str
+    operands: List[str]
+    line: int = 0
+
+
+@dataclass
+class ProgramSource:
+    """Parsed two-level source: ring planes + controller code."""
+
+    ring_sections: List[RingSection] = field(default_factory=list)
+    risc_statements: List[RiscStmt] = field(default_factory=list)
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find(";")
+    return line if index < 0 else line[:index]
+
+
+def _split_operands(rest: str) -> List[str]:
+    """Split an operand string on top-level commas (not inside parens)."""
+    operands = []
+    depth = 0
+    current = []
+    for ch in rest:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return [op for op in operands if op]
+
+
+def parse_source(text: str) -> ProgramSource:
+    """Parse assembler source text into its structural form.
+
+    Raises:
+        AssemblerError: with the offending line number on any structural
+            error (statement outside a section, bad headers, ...).
+    """
+    source = ProgramSource()
+    section: Optional[str] = None          # "ring" | "risc"
+    ring: Optional[RingSection] = None
+    dnode: Optional[DnodeStmt] = None
+    pending_labels: List[str] = []
+    ring_count = 0
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+
+        if line.startswith("."):
+            parts = line.split()
+            directive = parts[0].lower()
+            if directive == ".ring":
+                if pending_labels:
+                    raise AssemblerError(
+                        f"label(s) {pending_labels} before section end",
+                        lineno,
+                    )
+                name = parts[1] if len(parts) > 1 else f"plane{ring_count}"
+                ring = RingSection(name=name, line=lineno)
+                source.ring_sections.append(ring)
+                section = "ring"
+                dnode = None
+                ring_count += 1
+            elif directive == ".risc":
+                section = "risc"
+                ring = None
+                dnode = None
+            else:
+                raise AssemblerError(f"unknown directive {directive!r}",
+                                     lineno)
+            continue
+
+        if section == "ring":
+            assert ring is not None
+            head = _DNODE_HEAD_RE.match(line)
+            if head:
+                dnode = DnodeStmt(
+                    layer=int(head.group(1)),
+                    position=int(head.group(2)),
+                    mode=(head.group(3) or "global").lower(),
+                    line=lineno,
+                )
+                ring.dnodes.append(dnode)
+                continue
+            if _SWITCH_HEAD_RE.match(line):
+                dnode = None
+                ring.routes.append(
+                    RouteStmt(int(_SWITCH_HEAD_RE.match(line).group(1)),
+                              -1, -1, "", lineno)
+                )
+                continue
+            route = _ROUTE_RE.match(line)
+            if route:
+                # attach to the most recent `switch` header
+                header = _last_switch_header(ring, lineno)
+                ring.routes.append(
+                    RouteStmt(header, int(route.group(1)),
+                              int(route.group(2)),
+                              route.group(3).strip(), lineno)
+                )
+                continue
+            if dnode is not None:
+                dnode.ops.append(line)
+                dnode.op_lines.append(lineno)
+                continue
+            raise AssemblerError(
+                f"unexpected statement in .ring section: {line!r}", lineno
+            )
+
+        if section == "risc":
+            body = line
+            labels: List[str] = list(pending_labels)
+            pending_labels = []
+            while True:
+                match = _LABEL_RE.match(body)
+                if not match:
+                    break
+                labels.append(match.group(1))
+                body = match.group(2).strip()
+            if not body:
+                pending_labels = labels
+                continue
+            parts = body.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            source.risc_statements.append(
+                RiscStmt(labels, mnemonic, operands, lineno)
+            )
+            continue
+
+        raise AssemblerError(
+            f"statement before any .ring/.risc section: {line!r}", lineno
+        )
+
+    if pending_labels:
+        raise AssemblerError(
+            f"dangling label(s) {pending_labels} at end of file"
+        )
+    return source
+
+
+def _last_switch_header(ring: RingSection, lineno: int) -> int:
+    """Find the switch index of the most recent ``switch`` header marker."""
+    for stmt in reversed(ring.routes):
+        if stmt.position == -1:  # header marker
+            return stmt.switch
+    raise AssemblerError("route statement before any `switch` header", lineno)

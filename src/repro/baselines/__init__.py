@@ -1,0 +1,28 @@
+"""Every comparator in the paper's evaluation, implemented as a model.
+
+* :mod:`repro.baselines.mmx` — an instruction-level simulator of the
+  Intel MMX block-matching routine (Table 1's software comparator),
+  functionally exact and cycle-modelled with Pentium-MMX pairing rules;
+* :mod:`repro.baselines.asic_me` — the dedicated systolic block-matching
+  ASIC of [7] (Table 1's hardware comparator);
+* :mod:`repro.baselines.wavelet_asics` — the wavelet ASICs of [10] and
+  [11] (Table 2);
+* :mod:`repro.baselines.scalar_cpu` — the Pentium-II-class scalar CPU of
+  the §5.1 MIPS comparison.
+"""
+
+from repro.baselines.mmx import MmxMachine, mmx_block_match
+from repro.baselines.asic_me import AsicModel, asic_block_match
+from repro.baselines.wavelet_asics import WAVELET_CIRCUITS, WaveletCircuit
+from repro.baselines.scalar_cpu import ScalarCpu, PENTIUM_II_450
+
+__all__ = [
+    "MmxMachine",
+    "mmx_block_match",
+    "AsicModel",
+    "asic_block_match",
+    "WAVELET_CIRCUITS",
+    "WaveletCircuit",
+    "ScalarCpu",
+    "PENTIUM_II_450",
+]

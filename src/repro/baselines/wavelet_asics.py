@@ -1,0 +1,67 @@
+"""Characteristic models of the wavelet ASICs compared in Table 2.
+
+Table 2 compares static implementation characteristics — technology,
+silicon area, clock frequency, on-chip memory — of two dedicated wavelet
+circuits against the Ring-16.  Both ASICs also compute one pixel sample
+per clock cycle, so the comparison is about area/flexibility, not speed:
+
+=====================  ========  ==========  =========  ==============
+circuit                techno    area        frequency  memory
+=====================  ========  ==========  =========  ==============
+Navarro, Mallat [10]   0.7 um    48.4 mm^2   50 MHz     (768+30)x16 b
+Diou et al. [11]       0.25 um   2.2 mm^2    150 MHz    897 bytes
+Ring-16 (this work)    0.18 um   1.4 mm^2    200 MHz    line buffers
+=====================  ========  ==========  =========  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class WaveletCircuit:
+    """One row of Table 2."""
+
+    name: str
+    technology: str
+    area_mm2: float
+    frequency_hz: float
+    memory_bits: int
+    pixels_per_cycle: float = 1.0
+    flexible: bool = False
+
+    def pixel_rate_hz(self) -> float:
+        """Sustained pixel throughput."""
+        return self.frequency_hz * self.pixels_per_cycle
+
+    def time_for_image_s(self, height: int, width: int) -> float:
+        """Transform time for one height x width image."""
+        if height < 1 or width < 1:
+            raise SimulationError(
+                f"image must be non-empty, got {height}x{width}"
+            )
+        return height * width / self.pixel_rate_hz()
+
+
+#: Published characteristics of the comparators (memory column of
+#: Table 2: [10] stores (768+30) 16-bit words; [11] stores 897 bytes).
+WAVELET_CIRCUITS: Dict[str, WaveletCircuit] = {
+    "navarro": WaveletCircuit(
+        name="Navarro 2-D Mallat DWT [10]",
+        technology="0.7um",
+        area_mm2=48.4,
+        frequency_hz=50e6,
+        memory_bits=(768 + 30) * 16,
+    ),
+    "diou": WaveletCircuit(
+        name="Diou wavelet core [11]",
+        technology="0.25um",
+        area_mm2=2.2,
+        frequency_hz=150e6,
+        memory_bits=897 * 8,
+    ),
+}

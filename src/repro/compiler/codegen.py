@@ -1,0 +1,189 @@
+"""Code generation: a placement -> fabric configuration (+ assembly text).
+
+Each physical node becomes one global-mode microword; operand descriptors
+become operand sources and switch routes:
+
+* direct edge          -> ``IN1``/``IN2`` + a switch route ``up(lane)``;
+* delayed edge (d)     -> operand source ``Rp(d, lane+1)`` (no route);
+* input stream         -> ``IN1``/``IN2`` + a switch route ``host(ch)``;
+* constant             -> the ``IMM`` source + the microword immediate.
+
+A :class:`CompiledProgram` can configure any large-enough ring, run a
+workload end to end (streams in, taps out, latency-aligned), report its
+resource usage, and export itself as two-level assembly text that the
+:mod:`repro.asm` toolchain assembles back to the same configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import word
+from repro.asm.microasm import format_dnode_op
+from repro.compiler.graph import CompileError, DataflowGraph
+from repro.compiler.schedule import Operand, Placement, PhysNode, schedule
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry
+from repro.core.switch import PortSource
+from repro.host.system import RingSystem
+
+Streams = Union[Sequence[int], Dict[int, Sequence[int]]]
+
+
+@dataclass
+class CompiledProgram:
+    """A dataflow graph compiled for a ring geometry."""
+
+    graph: DataflowGraph
+    placement: Placement
+    geometry: RingGeometry
+    microwords: Dict[Tuple[int, int], MicroWord]
+    routes: Dict[Tuple[int, int, int], PortSource]
+
+    @property
+    def dnodes_used(self) -> int:
+        return len(self.microwords)
+
+    @property
+    def latency(self) -> int:
+        """Deepest pipeline level = cycles from input to last output."""
+        return self.placement.levels
+
+    def configure(self, ring: Ring) -> None:
+        """Write the compiled configuration into *ring*."""
+        if ring.geometry.layers < self.geometry.layers or \
+                ring.geometry.width < self.geometry.width:
+            raise CompileError(
+                f"program needs {self.geometry.layers}x"
+                f"{self.geometry.width}, ring is "
+                f"{ring.geometry.layers}x{ring.geometry.width}"
+            )
+        for (layer, lane), mw in self.microwords.items():
+            ring.config.write_microword(layer, lane, mw)
+        for (switch, pos, port), source in self.routes.items():
+            ring.config.write_switch_route(switch, pos, port, source)
+
+    def build_system(self, ring: Optional[Ring] = None) -> RingSystem:
+        """A configured, ready-to-stream system."""
+        if ring is None:
+            ring = Ring(self.geometry)
+        self.configure(ring)
+        return RingSystem(ring)
+
+    def run(self, streams: Streams,
+            ring: Optional[Ring] = None) -> Dict[int, List[int]]:
+        """Execute on the fabric; returns signed outputs per output node.
+
+        *streams* is a single list (for channel 0) or a dict
+        ``channel -> samples``.  Outputs are latency-aligned so they
+        compare directly against :meth:`DataflowGraph.evaluate`.
+        """
+        if not isinstance(streams, dict):
+            streams = {0: list(streams)}
+        length = max((len(v) for v in streams.values()), default=0)
+        system = self.build_system(ring)
+        for channel, samples in streams.items():
+            system.data.stream(
+                channel, [word.from_signed(int(v)) for v in samples])
+        taps = {}
+        for graph_index, phys_index in self.placement.outputs:
+            p = self.placement.phys[phys_index]
+            if graph_index not in taps:
+                taps[graph_index] = system.data.add_tap(
+                    p.level - 1, p.lane, skip=p.level - 1, limit=length)
+        system.run(length + self.latency)
+        return {
+            graph_index: [word.to_signed(v) for v in tap.samples]
+            for graph_index, tap in taps.items()
+        }
+
+    def to_assembly(self, plane: str = "compiled") -> str:
+        """Export as `.ring` assembly accepted by :func:`repro.asm.assemble`."""
+        lines = [f".ring {plane}"]
+        for (layer, lane) in sorted(self.microwords):
+            lines.append(f"dnode {layer}.{lane} global")
+            lines.append("    " + format_dnode_op(
+                self.microwords[(layer, lane)]))
+        by_switch: Dict[int, List[Tuple[int, int, PortSource]]] = {}
+        for (switch, pos, port), source in sorted(self.routes.items()):
+            by_switch.setdefault(switch, []).append((pos, port, source))
+        for switch in sorted(by_switch):
+            lines.append(f"switch {switch}")
+            for pos, port, source in by_switch[switch]:
+                lines.append(f"    route {pos}.{port} <- {source}")
+        return "\n".join(lines) + "\n"
+
+    def resource_report(self) -> str:
+        ops = sum(1 for p in self.placement.phys if p.graph_node is not None)
+        passes = self.dnodes_used - ops
+        return (
+            f"{self.dnodes_used} Dnodes "
+            f"({ops} operators + {passes} pass nodes) on "
+            f"{self.geometry.layers}x{self.geometry.width} layers, "
+            f"latency {self.latency} cycles, 1 sample/cycle throughput"
+        )
+
+
+def _operand_source(operand: Operand, phys: List[PhysNode],
+                    direct_ports: List[int]) -> Tuple[Source, int]:
+    """Resolve one operand to (Source, immediate contribution)."""
+    if operand.kind == "const":
+        return Source.IMM, operand.value
+    if operand.kind == "node" and operand.delay > 0:
+        lane = phys[operand.producer].lane
+        return Source.rp(operand.delay, lane + 1), 0
+    # direct edge or input: allocate IN1 then IN2
+    port = len(direct_ports) + 1
+    if port > 2:
+        raise CompileError(
+            "an operator has more than two routed operands"
+        )
+    direct_ports.append(port)
+    return Source.IN1 if port == 1 else Source.IN2, 0
+
+
+def compile_graph(graph: DataflowGraph,
+                  geometry: Optional[RingGeometry] = None,
+                  ) -> CompiledProgram:
+    """Compile *graph* for *geometry* (default: smallest width-2 ring).
+
+    Raises:
+        CompileError: for unmappable graphs (see
+            :func:`repro.compiler.schedule.schedule`).
+    """
+    width = geometry.width if geometry else 2
+    max_levels = geometry.layers if geometry else None
+    placement = schedule(graph, max_levels=max_levels, width=width)
+    if geometry is None:
+        geometry = RingGeometry(layers=max(placement.levels, 2),
+                                width=width)
+
+    microwords: Dict[Tuple[int, int], MicroWord] = {}
+    routes: Dict[Tuple[int, int, int], PortSource] = {}
+    for p in placement.phys:
+        layer = p.level - 1
+        direct_ports: List[int] = []
+        sources: List[Source] = []
+        imm = 0
+        for operand in p.operands:
+            source, imm_value = _operand_source(operand, placement.phys,
+                                                direct_ports)
+            sources.append(source)
+            if source is Source.IMM:
+                imm = imm_value
+            elif source in (Source.IN1, Source.IN2):
+                port = 1 if source is Source.IN1 else 2
+                if operand.kind == "input":
+                    routes[(layer, p.lane, port)] = \
+                        PortSource.host(operand.channel)
+                else:
+                    routes[(layer, p.lane, port)] = \
+                        PortSource.up(placement.phys[operand.producer].lane)
+        src_a = sources[0] if sources else Source.ZERO
+        src_b = sources[1] if len(sources) > 1 else Source.ZERO
+        microwords[(layer, p.lane)] = MicroWord(
+            op=p.op, src_a=src_a, src_b=src_b, dst=Dest.OUT, imm=imm)
+    return CompiledProgram(graph=graph, placement=placement,
+                           geometry=geometry, microwords=microwords,
+                           routes=routes)

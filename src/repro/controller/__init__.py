@@ -1,0 +1,30 @@
+"""Configuration controller: the custom RISC core managing the ring.
+
+Paper §3: "We also use a custom RISC core with a dedicated instruction set
+as configuration controller; its task is to manage dynamically the
+configuration of the network and also to control the data communications
+between the reconfigurable core and the host CPU."
+
+* :mod:`repro.controller.isa` — the controller instruction set, including
+  the dedicated configuration-management instructions.
+* :mod:`repro.controller.core` — the cycle-accurate controller simulator.
+"""
+
+from repro.controller.isa import Instruction, ROp, encode_instruction, decode_instruction
+from repro.controller.core import (
+    ConfigCommand,
+    ConfigTargetKind,
+    ControllerState,
+    RiscController,
+)
+
+__all__ = [
+    "Instruction",
+    "ROp",
+    "encode_instruction",
+    "decode_instruction",
+    "ConfigCommand",
+    "ConfigTargetKind",
+    "ControllerState",
+    "RiscController",
+]

@@ -1,0 +1,222 @@
+"""Instruction set of the RISC configuration controller.
+
+The controller is a small load/store RISC machine (16 registers x 16 bits,
+one instruction per cycle) extended with the paper's *dedicated instruction
+set* for dynamic configuration management:
+
+* ``CFGD``/``CFGDI`` — write a configuration-ROM microword into a Dnode's
+  global-mode slot (register-indirect / immediate forms; the indirect form
+  is what lets a small loop reconfigure an arbitrarily large ring);
+* ``CFGL``/``CFGLIM``/``CFGMODE`` — program a Dnode's local sequencer and
+  execution mode;
+* ``CFGS`` — write a switch routing entry;
+* ``CFGPLANE`` — swap the *entire* fabric configuration in one cycle, the
+  paper's "able to change up to the entire content of the [configuration
+  memory]" wide path;
+* ``BUSW`` — drive the shared bus seen by every Dnode;
+* ``INW``/``OUTW``/``BFE`` — host mailbox communication.
+
+Instructions are 32 bits: a 6-bit opcode followed by op-specific fields
+packed MSB-first (see ``FORMATS``).  :func:`encode_instruction` /
+:func:`decode_instruction` convert between the dataclass and binary forms;
+the assembler emits binaries, the loader decodes them back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+NUM_REGISTERS = 16
+INSTRUCTION_BITS = 32
+
+#: Controller register width (same 16-bit datapath as the ring).
+REG_MASK = 0xFFFF
+
+
+class ROp(enum.IntEnum):
+    """Controller opcodes."""
+
+    NOP = 0
+    HALT = 1
+    LDI = 2       # rd <- imm16
+    MOV = 3       # rd <- rs
+    ADD = 4       # rd <- rs + rt
+    SUB = 5
+    AND = 6
+    OR = 7
+    XOR = 8
+    SHL = 9       # rd <- rs << (rt & 15)
+    SHR = 10
+    MUL = 11      # rd <- low16(rs * rt)
+    ADDI = 12     # rd <- rs + simm12
+    BEQ = 13      # if rs == rt: pc += soff12
+    BNE = 14
+    BLT = 15      # signed compare
+    BGE = 16
+    JMP = 17      # pc <- addr16
+    JAL = 18      # r15 <- pc + 1; pc <- addr16
+    JR = 19       # pc <- rs
+    LW = 20       # rd <- dmem[rs + simm12]
+    SW = 21       # dmem[rs + simm12] <- rt
+    SAR = 22      # rd <- rs >> (rt & 15), arithmetic (sign-extending)
+    # --- dedicated configuration instructions -------------------------
+    CFGDI = 32    # dnode10 <- cfgrom[cfg12]          (immediate)
+    CFGD = 33     # dnode r[rs] <- cfgrom[r[rt]]      (register indirect)
+    CFGL = 34     # dnode10 local slot3 <- cfgrom[cfg12]
+    CFGLIM = 35   # dnode10 LIMIT <- limit4
+    CFGMODE = 36  # dnode10 mode <- mode1 (0 global, 1 local)
+    CFGS = 37     # switch8 pos3 port2 <- cfgrom[cfg12] (a route word)
+    CFGPLANE = 38 # apply plane table entry plane8
+    CFGIMM = 39   # dnode10 <- cfgrom[cfg12] with its immediate field
+                  # replaced by r[rs] (adaptive coefficients)
+    # --- bus / host communication --------------------------------------
+    BUSW = 48     # drive shared bus with r[rs] from the next cycle
+    INW = 49      # rd <- pop host mailbox channel ch4 (stalls while empty)
+    OUTW = 50     # push r[rs] to host mailbox channel ch4
+    BFE = 51      # if mailbox channel ch4 empty: pc += soff12
+    WAITI = 52    # stall for imm16 cycles
+    RDD = 53      # rd <- OUT register of dnode10 (read over the shared
+                  # bus: the paper's "optional RISC communications")
+
+
+#: Per-opcode field layout: ordered (field name, bit width, signed) tuples,
+#: packed MSB-first immediately below the opcode.
+FORMATS: Dict[ROp, Tuple[Tuple[str, int, bool], ...]] = {
+    ROp.NOP: (),
+    ROp.HALT: (),
+    ROp.LDI: (("rd", 4, False), ("imm", 16, False)),
+    ROp.MOV: (("rd", 4, False), ("rs", 4, False)),
+    ROp.ADD: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.SUB: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.AND: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.OR: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.XOR: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.SHL: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.SHR: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.MUL: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.ADDI: (("rd", 4, False), ("rs", 4, False), ("imm", 12, True)),
+    ROp.BEQ: (("rs", 4, False), ("rt", 4, False), ("imm", 12, True)),
+    ROp.BNE: (("rs", 4, False), ("rt", 4, False), ("imm", 12, True)),
+    ROp.BLT: (("rs", 4, False), ("rt", 4, False), ("imm", 12, True)),
+    ROp.BGE: (("rs", 4, False), ("rt", 4, False), ("imm", 12, True)),
+    ROp.JMP: (("imm", 16, False),),
+    ROp.JAL: (("imm", 16, False),),
+    ROp.JR: (("rs", 4, False),),
+    ROp.SAR: (("rd", 4, False), ("rs", 4, False), ("rt", 4, False)),
+    ROp.LW: (("rd", 4, False), ("rs", 4, False), ("imm", 12, True)),
+    ROp.SW: (("rt", 4, False), ("rs", 4, False), ("imm", 12, True)),
+    ROp.CFGDI: (("dnode", 10, False), ("cfg", 12, False)),
+    ROp.CFGD: (("rs", 4, False), ("rt", 4, False)),
+    ROp.CFGL: (("dnode", 10, False), ("slot", 3, False), ("cfg", 12, False)),
+    ROp.CFGLIM: (("dnode", 10, False), ("limit", 4, False)),
+    ROp.CFGMODE: (("dnode", 10, False), ("mode", 1, False)),
+    ROp.CFGS: (("sw", 8, False), ("pos", 3, False), ("port", 2, False),
+               ("cfg", 12, False)),
+    ROp.CFGPLANE: (("plane", 8, False),),
+    ROp.CFGIMM: (("dnode", 10, False), ("cfg", 12, False),
+                 ("rs", 4, False)),
+    ROp.BUSW: (("rs", 4, False),),
+    ROp.INW: (("rd", 4, False), ("ch", 4, False)),
+    ROp.OUTW: (("rs", 4, False), ("ch", 4, False)),
+    ROp.BFE: (("ch", 4, False), ("imm", 12, True)),
+    ROp.WAITI: (("imm", 16, False),),
+    ROp.RDD: (("rd", 4, False), ("dnode", 10, False)),
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One controller instruction with symbolic fields.
+
+    Only the fields named by the opcode's format are meaningful; the rest
+    stay at their defaults and are not encoded.
+    """
+
+    op: ROp
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    dnode: int = 0
+    cfg: int = 0
+    slot: int = 0
+    limit: int = 1
+    mode: int = 0
+    sw: int = 0
+    pos: int = 0
+    port: int = 1
+    plane: int = 0
+    ch: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs", "rt"):
+            value = getattr(self, name)
+            if not 0 <= value < NUM_REGISTERS:
+                raise ConfigurationError(
+                    f"{self.op.name}: register {name}={value} out of range "
+                    f"0..{NUM_REGISTERS - 1}"
+                )
+        for name, width, signed in FORMATS[self.op]:
+            value = getattr(self, name)
+            lo = -(1 << (width - 1)) if signed else 0
+            hi = (1 << (width - 1)) - 1 if signed else (1 << width) - 1
+            if not lo <= value <= hi:
+                raise ConfigurationError(
+                    f"{self.op.name}: field {name}={value} outside "
+                    f"[{lo}, {hi}]"
+                )
+
+    def __str__(self) -> str:
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name, _, _ in FORMATS[self.op]
+        )
+        return f"{self.op.name.lower()} {fields}".strip()
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Pack an :class:`Instruction` into its 32-bit binary form."""
+    raw = int(instr.op) << (INSTRUCTION_BITS - 6)
+    shift = INSTRUCTION_BITS - 6
+    for name, width, signed in FORMATS[instr.op]:
+        shift -= width
+        value = getattr(instr, name)
+        if signed:
+            value &= (1 << width) - 1
+        raw |= value << shift
+    return raw
+
+
+def decode_instruction(raw: int) -> Instruction:
+    """Unpack a 32-bit binary word into an :class:`Instruction`."""
+    if not isinstance(raw, int) or raw < 0 or raw >= (1 << INSTRUCTION_BITS):
+        raise ConfigurationError(
+            f"instruction must fit in 32 bits, got {raw!r}"
+        )
+    code = raw >> (INSTRUCTION_BITS - 6)
+    try:
+        op = ROp(code)
+    except ValueError as exc:
+        raise ConfigurationError(f"illegal opcode {code}") from exc
+    fields = {}
+    shift = INSTRUCTION_BITS - 6
+    for name, width, signed in FORMATS[op]:
+        shift -= width
+        value = (raw >> shift) & ((1 << width) - 1)
+        if signed and value & (1 << (width - 1)):
+            value -= 1 << width
+        fields[name] = value
+    return Instruction(op, **fields)
+
+
+def encode_program(program: List[Instruction]) -> List[int]:
+    """Encode a whole controller program to binary words."""
+    return [encode_instruction(i) for i in program]
+
+
+def decode_program(words: List[int]) -> List[Instruction]:
+    """Decode binary words back to instructions."""
+    return [decode_instruction(w) for w in words]

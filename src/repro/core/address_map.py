@@ -1,0 +1,217 @@
+"""Word-addressable view of the configuration layer.
+
+The paper's configuration layer is "a [memory] which contains the
+configuration of all the components".  The typed
+:class:`~repro.core.config_memory.ConfigMemory` API is how tools write
+it; this module adds the *hardware* view — a flat 16-bit-word address
+space covering every configuration bit, so the fabric configuration can
+be dumped, diffed, stored and restored as a plain memory image (what a
+boot ROM or JTAG port would see).
+
+Layout (word addresses):
+
+```
+per Dnode d (stride 32 words, d = layer*width + position):
+  d*32 + 0..2    global microword (40 bits, big-endian 16-bit words)
+  d*32 + 3       execution mode (0 global / 1 local)
+  d*32 + 4       local LIMIT register
+  d*32 + 5+3*s.. local slot s microword (s = 0..7, 3 words each)
+switch region (after all Dnodes):
+  dnode_words + k*(width*2) + position*2 + (port-1)   route word
+```
+
+Multi-word fields commit on every write: writing a word that leaves an
+undecodable microword raises immediately (like parity checking on a
+real configuration SRAM).  Write the opcode-carrying word last when
+changing several words of one field.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dnode import DnodeMode
+from repro.core.isa import MICROWORD_BITS, decode as decode_microword, \
+    encode as encode_microword
+from repro.core.local_controller import NUM_SLOTS
+from repro.core.ring import Ring
+from repro.core.switch import decode_route, encode_route
+from repro.errors import ConfigurationError
+
+WORDS_PER_MICROWORD = 3           # 40 bits in 3 x 16-bit words
+DNODE_STRIDE = 32                 # words reserved per Dnode
+
+_OFF_GLOBAL = 0
+_OFF_MODE = 3
+_OFF_LIMIT = 4
+_OFF_SLOTS = 5
+
+
+def _split_microword(raw: int) -> List[int]:
+    """40-bit value -> 3 big-endian 16-bit words (top word 8 bits used)."""
+    return [(raw >> 32) & 0xFF, (raw >> 16) & 0xFFFF, raw & 0xFFFF]
+
+
+def _join_microword(words: List[int]) -> int:
+    return ((words[0] & 0xFF) << 32) | ((words[1] & 0xFFFF) << 16) \
+        | (words[2] & 0xFFFF)
+
+
+class AddressMap:
+    """Flat configuration address space bound to one ring."""
+
+    def __init__(self, ring: Ring):
+        self.ring = ring
+        geometry = ring.geometry
+        self.dnode_region_words = geometry.dnodes * DNODE_STRIDE
+        self.switch_region_words = geometry.layers * geometry.width * 2
+        self.size = self.dnode_region_words + self.switch_region_words
+
+    # -- symbolic addresses ----------------------------------------------
+
+    def dnode_base(self, layer: int, position: int) -> int:
+        self.ring.dnode(layer, position)  # validate
+        return (layer * self.ring.geometry.width + position) \
+            * DNODE_STRIDE
+
+    def global_word_addr(self, layer: int, position: int) -> int:
+        return self.dnode_base(layer, position) + _OFF_GLOBAL
+
+    def mode_addr(self, layer: int, position: int) -> int:
+        return self.dnode_base(layer, position) + _OFF_MODE
+
+    def limit_addr(self, layer: int, position: int) -> int:
+        return self.dnode_base(layer, position) + _OFF_LIMIT
+
+    def slot_addr(self, layer: int, position: int, slot: int) -> int:
+        if not 0 <= slot < NUM_SLOTS:
+            raise ConfigurationError(
+                f"slot must be 0..{NUM_SLOTS - 1}, got {slot}"
+            )
+        return self.dnode_base(layer, position) + _OFF_SLOTS \
+            + slot * WORDS_PER_MICROWORD
+
+    def route_addr(self, switch: int, position: int, port: int) -> int:
+        self.ring.switch(switch)  # validate
+        width = self.ring.geometry.width
+        if not 0 <= position < width:
+            raise ConfigurationError(
+                f"position must be 0..{width - 1}, got {position}"
+            )
+        if port not in (1, 2):
+            raise ConfigurationError(f"port must be 1 or 2, got {port}")
+        return self.dnode_region_words + switch * width * 2 \
+            + position * 2 + (port - 1)
+
+    # -- word access -------------------------------------------------------
+
+    def read(self, address: int) -> int:
+        """Read one 16-bit configuration word."""
+        self._check(address)
+        if address >= self.dnode_region_words:
+            switch, position, port = self._route_coords(address)
+            source = self.ring.switch(switch).config.source_for(position,
+                                                                port)
+            return encode_route(source)
+        layer, position, offset = self._dnode_coords(address)
+        dn = self.ring.dnode(layer, position)
+        if offset < _OFF_MODE:
+            return _split_microword(
+                encode_microword(dn.global_word))[offset]
+        if offset == _OFF_MODE:
+            return 1 if dn.mode is DnodeMode.LOCAL else 0
+        if offset == _OFF_LIMIT:
+            return dn.local.limit
+        slot, word_index = divmod(offset - _OFF_SLOTS,
+                                  WORDS_PER_MICROWORD)
+        if slot >= NUM_SLOTS:
+            return 0  # reserved padding inside the stride
+        raw = encode_microword(dn.local.slots()[slot])
+        return _split_microword(raw)[word_index]
+
+    def write(self, address: int, value: int) -> None:
+        """Write one 16-bit configuration word (commits immediately)."""
+        self._check(address)
+        if not 0 <= value <= 0xFFFF:
+            raise ConfigurationError(
+                f"configuration word must be 16-bit, got {value!r}"
+            )
+        if address >= self.dnode_region_words:
+            switch, position, port = self._route_coords(address)
+            self.ring.config.write_switch_route(
+                switch, position, port, decode_route(value))
+            return
+        layer, position, offset = self._dnode_coords(address)
+        dn = self.ring.dnode(layer, position)
+        if offset < _OFF_MODE:
+            words = _split_microword(encode_microword(dn.global_word))
+            words[offset] = value
+            self.ring.config.write_microword(
+                layer, position, decode_microword(_join_microword(words)))
+            return
+        if offset == _OFF_MODE:
+            mode = DnodeMode.LOCAL if value & 1 else DnodeMode.GLOBAL
+            self.ring.config.write_mode(layer, position, mode)
+            return
+        if offset == _OFF_LIMIT:
+            self.ring.config.write_local_limit(layer, position, value)
+            return
+        slot, word_index = divmod(offset - _OFF_SLOTS,
+                                  WORDS_PER_MICROWORD)
+        if slot >= NUM_SLOTS:
+            raise ConfigurationError(
+                f"address {address:#06x} is reserved padding"
+            )
+        words = _split_microword(
+            encode_microword(dn.local.slots()[slot]))
+        words[word_index] = value
+        self.ring.config.write_local_slot(
+            layer, position, slot,
+            decode_microword(_join_microword(words)))
+
+    # -- bulk --------------------------------------------------------------
+
+    def dump(self) -> List[int]:
+        """The whole configuration as a memory image (padding reads 0)."""
+        return [
+            0 if self._is_padding(address) else self.read(address)
+            for address in range(self.size)
+        ]
+
+    def restore(self, image: List[int]) -> None:
+        """Load a memory image previously produced by :meth:`dump`."""
+        if len(image) != self.size:
+            raise ConfigurationError(
+                f"image has {len(image)} words, map needs {self.size}"
+            )
+        for address, value in enumerate(image):
+            if self._is_padding(address):
+                continue
+            self.write(address, value)
+
+    # -- internals ---------------------------------------------------------
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise ConfigurationError(
+                f"configuration address {address!r} outside "
+                f"0..{self.size - 1}"
+            )
+
+    def _is_padding(self, address: int) -> bool:
+        if address >= self.dnode_region_words:
+            return False
+        offset = address % DNODE_STRIDE
+        return offset >= _OFF_SLOTS + NUM_SLOTS * WORDS_PER_MICROWORD
+
+    def _dnode_coords(self, address: int):
+        dnode, offset = divmod(address, DNODE_STRIDE)
+        layer, position = divmod(dnode, self.ring.geometry.width)
+        return layer, position, offset
+
+    def _route_coords(self, address: int):
+        rel = address - self.dnode_region_words
+        width = self.ring.geometry.width
+        switch, rest = divmod(rel, width * 2)
+        position, port_index = divmod(rest, 2)
+        return switch, position, port_index + 1

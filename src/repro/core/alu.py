@@ -1,0 +1,166 @@
+"""Combinational model of the Dnode ALU + hardwired multiplier.
+
+The paper's Dnode datapath (Fig. 3) pairs a 16-bit ALU with a hardwired
+multiplier that can be "associated in a fully combinational way", so dual
+operations such as multiply-accumulate complete in a single cycle.  This
+module is purely functional: :func:`execute_op` maps ``(opcode, a, b, acc)``
+to a 16-bit result with no state, which keeps it trivially property-testable.
+
+All values are raw 16-bit bus words (see :mod:`repro.word`).  Signed
+interpretation is two's complement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro import word
+from repro.core.isa import Opcode
+from repro.errors import SimulationError
+
+
+def _add(a: int, b: int) -> int:
+    return word.wrap(a + b)
+
+
+def _sub(a: int, b: int) -> int:
+    return word.wrap(a - b)
+
+
+def _mul_full(a: int, b: int) -> int:
+    """Signed 16x16 -> 32-bit product (Python int)."""
+    return word.to_signed(a) * word.to_signed(b)
+
+
+def _mul(a: int, b: int) -> int:
+    return _mul_full(a, b) & word.MASK
+
+
+def _mulh(a: int, b: int) -> int:
+    return (_mul_full(a, b) >> word.WIDTH) & word.MASK
+
+
+def _shift_amount(b: int) -> int:
+    """Hardware shifters use the low 4 bits of the amount operand."""
+    return b & (word.WIDTH - 1)
+
+
+def _shl(a: int, b: int) -> int:
+    return word.wrap(a << _shift_amount(b))
+
+
+def _shr(a: int, b: int) -> int:
+    return (a & word.MASK) >> _shift_amount(b)
+
+
+def _asr(a: int, b: int) -> int:
+    return word.from_signed(word.to_signed(a) >> _shift_amount(b))
+
+
+def _abs(a: int) -> int:
+    # Like hardware, |INT_MIN| wraps back to INT_MIN (0x8000).
+    return word.wrap(abs(word.to_signed(a)))
+
+
+def _absdiff(a: int, b: int) -> int:
+    return word.wrap(abs(word.to_signed(a) - word.to_signed(b)))
+
+
+def _min(a: int, b: int) -> int:
+    return a if word.to_signed(a) <= word.to_signed(b) else b
+
+
+def _max(a: int, b: int) -> int:
+    return a if word.to_signed(a) >= word.to_signed(b) else b
+
+
+def _addsat(a: int, b: int) -> int:
+    return word.saturate_signed(word.to_signed(a) + word.to_signed(b))
+
+
+def _subsat(a: int, b: int) -> int:
+    return word.saturate_signed(word.to_signed(a) - word.to_signed(b))
+
+
+def _cmpeq(a: int, b: int) -> int:
+    return 1 if a == b else 0
+
+
+def _cmplt(a: int, b: int) -> int:
+    return 1 if word.to_signed(a) < word.to_signed(b) else 0
+
+
+def _avg2(a: int, b: int) -> int:
+    return word.from_signed((word.to_signed(a) + word.to_signed(b)) >> 1)
+
+
+_UNARY: Dict[Opcode, Callable[[int], int]] = {
+    Opcode.MOV: lambda a: a,
+    Opcode.NOT: lambda a: (~a) & word.MASK,
+    Opcode.NEG: lambda a: word.wrap(-word.to_signed(a)),
+    Opcode.ABS: _abs,
+}
+
+_BINARY: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: _add,
+    Opcode.SUB: _sub,
+    Opcode.MUL: _mul,
+    Opcode.MULH: _mulh,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: _shl,
+    Opcode.SHR: _shr,
+    Opcode.ASR: _asr,
+    Opcode.ABSDIFF: _absdiff,
+    Opcode.MIN: _min,
+    Opcode.MAX: _max,
+    Opcode.ADDSAT: _addsat,
+    Opcode.SUBSAT: _subsat,
+    Opcode.CMPEQ: _cmpeq,
+    Opcode.CMPLT: _cmplt,
+    Opcode.AVG2: _avg2,
+}
+
+
+def execute_op(op: Opcode, a: int, b: int = 0, acc: int = 0,
+               imm: int = 0) -> int:
+    """Evaluate one Dnode operation combinationally.
+
+    Args:
+        op: the opcode to execute.
+        a: first operand (raw 16-bit value).
+        b: second operand (raw 16-bit value, ignored by unary ops).
+        acc: current value of the destination register, consumed by the
+            accumulating opcodes (``MAC``/``MACS``).
+        imm: the microword's immediate field, consumed as the multiplier
+            coefficient by ``MADD``/``MSUB``.
+
+    Returns:
+        The raw 16-bit result.  ``NOP`` returns 0 (nothing observes it).
+
+    Raises:
+        SimulationError: for an opcode with no functional model (cannot
+            happen for opcodes built through the public ISA).
+    """
+    word.check(a, "operand A")
+    word.check(b, "operand B")
+    word.check(acc, "accumulator")
+    word.check(imm, "immediate")
+    if op is Opcode.NOP:
+        return 0
+    if op is Opcode.MAC:
+        return word.wrap(_mul_full(a, b) + word.to_signed(acc))
+    if op is Opcode.MACS:
+        return word.saturate_signed(_mul_full(a, b) + word.to_signed(acc))
+    if op is Opcode.MADD:
+        return word.wrap(word.to_signed(a) + _mul_full(b, imm))
+    if op is Opcode.MSUB:
+        return word.wrap(word.to_signed(a) - _mul_full(b, imm))
+    handler = _UNARY.get(op)
+    if handler is not None:
+        return handler(a)
+    handler_b = _BINARY.get(op)
+    if handler_b is not None:
+        return handler_b(a, b)
+    raise SimulationError(f"opcode {op!r} has no functional model")

@@ -1,0 +1,142 @@
+"""Configuration layer: the rewritable configuration of the operative layer.
+
+Paper §3: "The configuration layer follows the same principle as FPGAs, it's
+a [memory] which contains the configuration of all the components (Dnodes
+and interconnect) of the operative layer", and the controller "is able to
+change up to the entire content ... each clock cycle thanks to its dedicated
+instruction set".
+
+:class:`ConfigMemory` is the single write path into the fabric's
+configuration state: Dnode global microwords, execution modes, local
+sequencer contents and switch routing.  :class:`ConfigPlane` captures a full
+snapshot that can be re-applied in one shot — that is how the controller's
+``CPLANE`` instruction changes the entire fabric configuration in a single
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from repro.core.dnode import DnodeMode
+from repro.core.isa import MicroWord
+from repro.core.switch import PortSource
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ring import Ring
+
+DnodeAddr = Tuple[int, int]          # (layer, position)
+SwitchRouteAddr = Tuple[int, int, int]  # (switch index, position, port)
+
+
+@dataclass(frozen=True)
+class ConfigPlane:
+    """Immutable full-fabric configuration snapshot."""
+
+    microwords: Dict[DnodeAddr, MicroWord] = field(default_factory=dict)
+    modes: Dict[DnodeAddr, DnodeMode] = field(default_factory=dict)
+    local_programs: Dict[DnodeAddr, Tuple[Tuple[MicroWord, ...], int]] = field(
+        default_factory=dict
+    )
+    switch_routes: Dict[SwitchRouteAddr, PortSource] = field(
+        default_factory=dict
+    )
+
+
+class ConfigMemory:
+    """Write interface from the configuration controller into the fabric.
+
+    Every mutating method validates its address against the ring geometry,
+    so a buggy controller program fails loudly instead of silently
+    configuring a non-existent Dnode.
+    """
+
+    def __init__(self, ring: "Ring"):
+        self._ring = ring
+        self.writes = 0  # total configuration words written (A1 ablation)
+
+    # -- Dnode configuration -------------------------------------------
+
+    def write_microword(self, layer: int, position: int,
+                        microword: MicroWord) -> None:
+        """Set the global-mode microinstruction of one Dnode."""
+        self._ring.dnode(layer, position).configure(microword)
+        self.writes += 1
+
+    def write_mode(self, layer: int, position: int, mode: DnodeMode) -> None:
+        """Switch one Dnode between global and local execution."""
+        self._ring.dnode(layer, position).set_mode(mode)
+        self.writes += 1
+
+    def write_local_slot(self, layer: int, position: int, slot: int,
+                         microword: MicroWord) -> None:
+        """Load one instruction register of a Dnode's local sequencer."""
+        self._ring.dnode(layer, position).local.load_slot(slot, microword)
+        self.writes += 1
+
+    def write_local_limit(self, layer: int, position: int,
+                          limit: int) -> None:
+        """Write the LIMIT register of a Dnode's local sequencer."""
+        self._ring.dnode(layer, position).local.set_limit(limit)
+        self.writes += 1
+
+    def write_local_program(self, layer: int, position: int,
+                            program: List[MicroWord]) -> None:
+        """Load a whole local loop (slots + LIMIT + counter reset)."""
+        self._ring.dnode(layer, position).local.load_program(program)
+        self.writes += len(program) + 1
+
+    # -- Switch configuration ------------------------------------------
+
+    def write_switch_route(self, switch_index: int, position: int,
+                           port: int, source: PortSource) -> None:
+        """Connect one downstream input port of one switch."""
+        self._ring.switch(switch_index).config.route(position, port, source)
+        self.writes += 1
+
+    # -- Planes ----------------------------------------------------------
+
+    def capture_plane(self) -> ConfigPlane:
+        """Snapshot the entire current fabric configuration."""
+        micro: Dict[DnodeAddr, MicroWord] = {}
+        modes: Dict[DnodeAddr, DnodeMode] = {}
+        local: Dict[DnodeAddr, Tuple[Tuple[MicroWord, ...], int]] = {}
+        routes: Dict[SwitchRouteAddr, PortSource] = {}
+        for layer in range(self._ring.geometry.layers):
+            for pos in range(self._ring.geometry.width):
+                dn = self._ring.dnode(layer, pos)
+                micro[(layer, pos)] = dn.global_word
+                modes[(layer, pos)] = dn.mode
+                local[(layer, pos)] = (tuple(dn.local.slots()),
+                                       dn.local.limit)
+        for si in range(self._ring.geometry.layers):
+            sw = self._ring.switch(si)
+            for pos in range(sw.width):
+                for port in (1, 2):
+                    routes[(si, pos, port)] = sw.config.source_for(pos, port)
+        return ConfigPlane(micro, modes, local, routes)
+
+    def apply_plane(self, plane: ConfigPlane) -> None:
+        """Apply a snapshot to the whole fabric (one-cycle reconfiguration).
+
+        Counts as a single configuration write burst: the paper's wide
+        configuration path, not per-word controller traffic.
+        """
+        if not isinstance(plane, ConfigPlane):
+            raise ConfigurationError(
+                f"expected ConfigPlane, got {type(plane).__name__}"
+            )
+        for (layer, pos), mw in plane.microwords.items():
+            self._ring.dnode(layer, pos).configure(mw)
+        for (layer, pos), mode in plane.modes.items():
+            self._ring.dnode(layer, pos).set_mode(mode)
+        for (layer, pos), (slots, limit) in plane.local_programs.items():
+            local = self._ring.dnode(layer, pos).local
+            for i, mw in enumerate(slots):
+                local.load_slot(i, mw)
+            local.set_limit(limit)
+        for (si, pos, port), src in plane.switch_routes.items():
+            self._ring.switch(si).config.route(pos, port, src)
+        self.writes += 1

@@ -1,0 +1,331 @@
+"""Dnode microinstruction set architecture.
+
+The paper (§4.1) describes the Dnode as "configured by a microinstruction
+code" coming either from the configuration layer (global mode) or from the
+local control unit (local mode).  This module defines that microinstruction
+word precisely:
+
+* :class:`Opcode` — the operation repertoire.  Every opcode performs at most
+  two chained arithmetic operations per cycle, matching the paper's "able to
+  compute up to two arithmetic operations each clock cycle, as the adder and
+  multiplier operators can be associated in a fully combinational way"
+  (e.g. ``MAC`` = multiply then add, ``ABSDIFF`` = subtract then absolute
+  value).
+* :class:`Source` — the operand routing repertoire listed in Fig. 3:
+  ``In(1,2), fifo(1,2), bus, Rp(i,j) (i=1..4, j=1..2)`` plus the register
+  file, an immediate from the configuration word, and the Dnode's own
+  output register.
+* :class:`Dest` — register file entries, the output register, or no write.
+* :class:`MicroWord` — the assembled instruction, with a packed 40-bit
+  binary encoding (:func:`encode` / :func:`decode`) used by the
+  configuration memory, the assembler and the loader.
+
+Binary layout (40 bits)::
+
+    [39:35] opcode      (5 bits)
+    [34:30] source A    (5 bits)
+    [29:25] source B    (5 bits)
+    [24:22] destination (3 bits)
+    [21:16] flags       (6 bits)
+    [15:0]  immediate   (16 bits)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import word
+from repro.errors import ConfigurationError
+
+MICROWORD_BITS = 40
+MICROWORD_BYTES = 5
+
+#: Depth of each feedback pipeline (``Rp(i, j)`` with ``i = 1..4``).
+FEEDBACK_DEPTH = 4
+#: Number of feedback pipelines addressable from a Dnode (``j = 1..2``).
+FEEDBACK_LANES = 2
+
+
+class Opcode(enum.IntEnum):
+    """Dnode operations.
+
+    Single-operator ops use the ALU or the multiplier alone; dual ops chain
+    the two hardwired operators combinationally within one clock cycle.
+    """
+
+    NOP = 0        # no operation, no write
+    MOV = 1        # result = A
+    ADD = 2        # result = A + B            (wrapping)
+    SUB = 3        # result = A - B            (wrapping)
+    MUL = 4        # result = (A * B) low 16 bits (signed)
+    MULH = 5       # result = (A * B) high 16 bits (signed)
+    MAC = 6        # result = A * B + R[dst]   (dual op: mult -> adder)
+    AND = 7
+    OR = 8
+    XOR = 9
+    NOT = 10       # result = ~A
+    NEG = 11       # result = -A
+    SHL = 12       # result = A << (B & 15)
+    SHR = 13       # logical right shift
+    ASR = 14       # arithmetic right shift
+    ABS = 15       # result = |A| (signed)
+    ABSDIFF = 16   # result = |A - B|          (dual op: sub -> abs)
+    MIN = 17       # signed minimum
+    MAX = 18       # signed maximum
+    ADDSAT = 19    # saturating signed add
+    SUBSAT = 20    # saturating signed subtract
+    CMPEQ = 21     # result = 1 if A == B else 0
+    CMPLT = 22     # result = 1 if A < B (signed) else 0
+    AVG2 = 23      # result = (A + B) >> 1 (signed average, video op)
+    MACS = 24      # saturating MAC: sat(A * B + R[dst])
+    MADD = 25      # result = A + B * imm  (dual op: mult -> adder; the
+                   # coefficient comes from the configuration word)
+    MSUB = 26      # result = A - B * imm
+
+
+class Source(enum.IntEnum):
+    """Operand sources available to the Dnode datapath (Fig. 3)."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    IN1 = 4       # forward input port 1 (routed by the upstream switch)
+    IN2 = 5       # forward input port 2
+    FIFO1 = 6     # data-controller stream FIFO 1
+    FIFO2 = 7     # data-controller stream FIFO 2
+    BUS = 8       # shared bus driven by the configuration controller
+    IMM = 9       # immediate field of the microword
+    SELF = 10     # the Dnode's own output register (tight feedback)
+    ZERO = 11     # hardwired zero
+    # Feedback-pipeline taps Rp(i, j): stage i (delay, 1-based) of the
+    # upstream switch's pipeline for lane j.  Codes 16..23.
+    RP11 = 16
+    RP21 = 17
+    RP31 = 18
+    RP41 = 19
+    RP12 = 20
+    RP22 = 21
+    RP32 = 22
+    RP42 = 23
+
+    @property
+    def is_feedback(self) -> bool:
+        """True for the ``Rp(i, j)`` pipeline taps."""
+        return Source.RP11 <= self <= Source.RP42
+
+    @property
+    def feedback_stage(self) -> int:
+        """Delay stage ``i`` (1-based) of an ``Rp`` source."""
+        if not self.is_feedback:
+            raise ConfigurationError(f"{self.name} is not a feedback tap")
+        return (self - Source.RP11) % FEEDBACK_DEPTH + 1
+
+    @property
+    def feedback_lane(self) -> int:
+        """Pipeline lane ``j`` (1-based) of an ``Rp`` source."""
+        if not self.is_feedback:
+            raise ConfigurationError(f"{self.name} is not a feedback tap")
+        return (self - Source.RP11) // FEEDBACK_DEPTH + 1
+
+    @classmethod
+    def rp(cls, stage: int, lane: int) -> "Source":
+        """Build the ``Rp(stage, lane)`` source (both 1-based)."""
+        if not 1 <= stage <= FEEDBACK_DEPTH:
+            raise ConfigurationError(
+                f"feedback stage must be 1..{FEEDBACK_DEPTH}, got {stage}"
+            )
+        if not 1 <= lane <= FEEDBACK_LANES:
+            raise ConfigurationError(
+                f"feedback lane must be 1..{FEEDBACK_LANES}, got {lane}"
+            )
+        return cls(cls.RP11 + (lane - 1) * FEEDBACK_DEPTH + (stage - 1))
+
+
+class Dest(enum.IntEnum):
+    """Result destinations."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    OUT = 4    # output register, visible to the next layer via the switch
+    NONE = 5   # discard (still pops FIFOs if requested)
+
+    @property
+    def is_register(self) -> bool:
+        return self <= Dest.R3
+
+
+class Flag(enum.IntFlag):
+    """Modifier flags of a microword."""
+
+    NONE = 0
+    WRITE_OUT = 1    # mirror the result to OUT in addition to `dst`
+    POP_FIFO1 = 2    # consume the FIFO1 head this cycle
+    POP_FIFO2 = 4    # consume the FIFO2 head this cycle
+
+
+#: Opcodes whose second operand participates in the computation.
+_BINARY_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.MULH,
+        Opcode.MAC,
+        Opcode.MACS,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.ASR,
+        Opcode.ABSDIFF,
+        Opcode.MIN,
+        Opcode.MAX,
+        Opcode.ADDSAT,
+        Opcode.SUBSAT,
+        Opcode.CMPEQ,
+        Opcode.CMPLT,
+        Opcode.AVG2,
+        Opcode.MADD,
+        Opcode.MSUB,
+    }
+)
+
+#: Opcodes that read the destination register as an implicit accumulator.
+ACCUMULATING_OPS = frozenset({Opcode.MAC, Opcode.MACS})
+
+
+def is_binary_op(op: Opcode) -> bool:
+    """True when *op* consumes two source operands."""
+    return op in _BINARY_OPS
+
+
+@dataclass(frozen=True)
+class MicroWord:
+    """One Dnode microinstruction.
+
+    Attributes:
+        op: operation to perform.
+        src_a: first operand routing.
+        src_b: second operand routing (ignored by unary ops).
+        dst: where the result is written.
+        flags: modifier flags (OUT mirroring, FIFO pops).
+        imm: 16-bit immediate available through ``Source.IMM``.
+    """
+
+    op: Opcode = Opcode.NOP
+    src_a: Source = Source.ZERO
+    src_b: Source = Source.ZERO
+    dst: Dest = Dest.NONE
+    flags: Flag = Flag.NONE
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        word.check(self.imm, "immediate")
+        if self.op in ACCUMULATING_OPS and not self.dst.is_register:
+            raise ConfigurationError(
+                f"{self.op.name} accumulates into its destination register; "
+                f"dst must be R0..R3, got {self.dst.name}"
+            )
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the opcode consumes both operands."""
+        return self.op in _BINARY_OPS
+
+    def sources(self) -> tuple[Source, ...]:
+        """Operand sources actually read by this instruction."""
+        if self.op is Opcode.NOP:
+            return ()
+        if self.is_binary:
+            return (self.src_a, self.src_b)
+        return (self.src_a,)
+
+    def with_flags(self, extra: Flag) -> "MicroWord":
+        """Return a copy with *extra* flags OR-ed in."""
+        return MicroWord(
+            op=self.op,
+            src_a=self.src_a,
+            src_b=self.src_b,
+            dst=self.dst,
+            flags=self.flags | extra,
+            imm=self.imm,
+        )
+
+    def __str__(self) -> str:
+        parts = [self.op.name.lower()]
+        if self.dst is not Dest.NONE:
+            parts.append(self.dst.name.lower())
+        if self.op is not Opcode.NOP:
+            parts.append(self.src_a.name.lower())
+            if self.is_binary:
+                parts.append(self.src_b.name.lower())
+        text = " ".join(parts[:1]) + " " + ", ".join(parts[1:])
+        if Source.IMM in self.sources():
+            text += f" #{word.to_signed(self.imm)}"
+        if self.flags:
+            text += f" [{self.flags!r}]"
+        return text.strip()
+
+
+#: The canonical "do nothing" microword.
+NOP_WORD = MicroWord()
+
+_OP_SHIFT = 35
+_SRCA_SHIFT = 30
+_SRCB_SHIFT = 25
+_DST_SHIFT = 22
+_FLAGS_SHIFT = 16
+_FIELD5 = 0x1F
+_FIELD3 = 0x7
+_FIELD6 = 0x3F
+
+
+def encode(mw: MicroWord) -> int:
+    """Pack a :class:`MicroWord` into its 40-bit binary form."""
+    return (
+        (int(mw.op) << _OP_SHIFT)
+        | (int(mw.src_a) << _SRCA_SHIFT)
+        | (int(mw.src_b) << _SRCB_SHIFT)
+        | (int(mw.dst) << _DST_SHIFT)
+        | (int(mw.flags) << _FLAGS_SHIFT)
+        | mw.imm
+    )
+
+
+def decode(raw: int) -> MicroWord:
+    """Unpack a 40-bit binary word into a :class:`MicroWord`.
+
+    Raises:
+        ConfigurationError: if any field holds an illegal code.
+    """
+    if not isinstance(raw, int) or raw < 0 or raw >= (1 << MICROWORD_BITS):
+        raise ConfigurationError(f"microword must fit in 40 bits, got {raw!r}")
+    try:
+        op = Opcode((raw >> _OP_SHIFT) & _FIELD5)
+        src_a = Source((raw >> _SRCA_SHIFT) & _FIELD5)
+        src_b = Source((raw >> _SRCB_SHIFT) & _FIELD5)
+        dst = Dest((raw >> _DST_SHIFT) & _FIELD3)
+        flags = Flag((raw >> _FLAGS_SHIFT) & _FIELD6)
+    except ValueError as exc:
+        raise ConfigurationError(f"illegal microword field: {exc}") from exc
+    return MicroWord(op=op, src_a=src_a, src_b=src_b, dst=dst, flags=flags,
+                     imm=raw & word.MASK)
+
+
+def encode_bytes(mw: MicroWord) -> bytes:
+    """Encode a microword as 5 big-endian bytes (object-file form)."""
+    return encode(mw).to_bytes(MICROWORD_BYTES, "big")
+
+
+def decode_bytes(blob: bytes) -> MicroWord:
+    """Decode 5 big-endian bytes into a microword."""
+    if len(blob) != MICROWORD_BYTES:
+        raise ConfigurationError(
+            f"microword blob must be {MICROWORD_BYTES} bytes, got {len(blob)}"
+        )
+    return decode(int.from_bytes(blob, "big"))

@@ -1,0 +1,324 @@
+"""The Systolic Ring fabric: layered Dnodes closed into a ring, plus the
+cycle-accurate clock engine.
+
+Paper §4.2: "We use a curled, pipelined systolic structure ... All the
+D-nodes form a ring, which length (Dnodes layers number) and width (Dnodes
+per-layer number) can easily be scaled.  The Dnodes are organized in
+layers; a Dnodes layer is connected to the two adjacent ones by also
+dynamically reconfigurable switch components."
+
+Topology conventions used throughout the package:
+
+* ``layers`` x ``width`` Dnodes; ``dnode(layer, position)``.
+* ``switch(k)`` feeds layer ``k`` and is fed by layer ``(k - 1) % layers``
+  — the ring closure is simply switch 0 reading the last layer.
+* Data advances one layer per cycle (systolic); every value read during a
+  cycle is the value latched at the previous clock edge, so evaluation
+  order never matters.
+
+Each :meth:`Ring.step` models one clock:
+
+1. every Dnode evaluates its active microword (global or local mode) and
+   stages its writes;
+2. the clock edge commits register/OUT writes, shifts every switch's
+   feedback pipelines, applies FIFO pops, and advances local sequencers.
+
+The shared ``bus`` value and host stream channels are supplied per cycle
+by the caller (the controller / data controller live in
+:mod:`repro.controller` and :mod:`repro.host`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro import word
+from repro.core.config_memory import ConfigMemory
+from repro.core.dnode import Dnode, DnodeInputs, DnodeMode
+from repro.core.isa import FEEDBACK_DEPTH
+from repro.core.switch import PortKind, PortSource, Switch
+from repro.errors import ConfigurationError, SimulationError
+
+HostReader = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class RingGeometry:
+    """Shape of a ring: number of layers and Dnodes per layer.
+
+    The paper's named configurations map to:
+
+    * Ring-8  = 4 layers x 2 wide (the prototyped version),
+    * Ring-16 = 8 layers x 2 wide (the application benchmarks),
+    * Ring-64 = 32 layers x 2 wide (the Fig. 7 SoC).
+    """
+
+    layers: int
+    width: int = 2
+    pipeline_depth: int = FEEDBACK_DEPTH
+
+    def __post_init__(self) -> None:
+        if self.layers < 2:
+            raise ConfigurationError(
+                f"a ring needs at least 2 layers, got {self.layers}"
+            )
+        if self.width < 1:
+            raise ConfigurationError(
+                f"layer width must be >= 1, got {self.width}"
+            )
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline depth must be >= 1, got {self.pipeline_depth}"
+            )
+
+    @property
+    def dnodes(self) -> int:
+        """Total Dnode count (the paper's Ring-N number)."""
+        return self.layers * self.width
+
+    @classmethod
+    def ring(cls, dnodes: int, width: int = 2,
+             pipeline_depth: int = FEEDBACK_DEPTH) -> "RingGeometry":
+        """Build the canonical geometry for a Ring-*dnodes* fabric."""
+        if dnodes % width != 0:
+            raise ConfigurationError(
+                f"Ring-{dnodes} is not divisible into width-{width} layers"
+            )
+        return cls(layers=dnodes // width, width=width,
+                   pipeline_depth=pipeline_depth)
+
+
+class Ring:
+    """A complete operative layer: Dnodes, switches, FIFOs, clock engine."""
+
+    def __init__(self, geometry: RingGeometry,
+                 strict_fifos: bool = False):
+        self.geometry = geometry
+        self.strict_fifos = strict_fifos
+        self._dnodes: List[List[Dnode]] = [
+            [Dnode(layer, pos) for pos in range(geometry.width)]
+            for layer in range(geometry.layers)
+        ]
+        self._switches: List[Switch] = [
+            Switch(k, geometry.width, geometry.pipeline_depth)
+            for k in range(geometry.layers)
+        ]
+        self._fifos: Dict[Tuple[int, int, int], Deque[int]] = {}
+        self.config = ConfigMemory(self)
+        self.cycles = 0
+        self.fifo_underflows = 0
+        self._trace: Optional[Callable[["Ring"], None]] = None
+
+    # ------------------------------------------------------------------
+    # Structure access
+    # ------------------------------------------------------------------
+
+    def dnode(self, layer: int, position: int) -> Dnode:
+        """The Dnode at (*layer*, *position*)."""
+        if not 0 <= layer < self.geometry.layers:
+            raise ConfigurationError(
+                f"layer must be 0..{self.geometry.layers - 1}, got {layer}"
+            )
+        if not 0 <= position < self.geometry.width:
+            raise ConfigurationError(
+                f"position must be 0..{self.geometry.width - 1}, "
+                f"got {position}"
+            )
+        return self._dnodes[layer][position]
+
+    def switch(self, index: int) -> Switch:
+        """The switch feeding layer *index* (fed by the previous layer)."""
+        if not 0 <= index < self.geometry.layers:
+            raise ConfigurationError(
+                f"switch index must be 0..{self.geometry.layers - 1}, "
+                f"got {index}"
+            )
+        return self._switches[index]
+
+    def all_dnodes(self) -> List[Dnode]:
+        """Every Dnode, layer-major order."""
+        return [dn for layer in self._dnodes for dn in layer]
+
+    def upstream_layer(self, switch_index: int) -> int:
+        """The layer whose outputs feed switch *switch_index*."""
+        return (switch_index - 1) % self.geometry.layers
+
+    # ------------------------------------------------------------------
+    # FIFO interface (Dnode sources FIFO1 / FIFO2)
+    # ------------------------------------------------------------------
+
+    def fifo(self, layer: int, position: int, channel: int) -> Deque[int]:
+        """The input FIFO *channel* (1 or 2) of a Dnode; created on demand."""
+        if channel not in (1, 2):
+            raise ConfigurationError(f"FIFO channel must be 1 or 2, got {channel}")
+        self.dnode(layer, position)  # validates the address
+        key = (layer, position, channel)
+        if key not in self._fifos:
+            self._fifos[key] = deque()
+        return self._fifos[key]
+
+    def push_fifo(self, layer: int, position: int, channel: int,
+                  values) -> None:
+        """Append one or more raw words to a Dnode input FIFO."""
+        queue = self.fifo(layer, position, channel)
+        if isinstance(values, int):
+            values = [values]
+        for v in values:
+            queue.append(word.check(v, "FIFO push"))
+
+    def _fifo_peek(self, layer: int, position: int, channel: int) -> int:
+        queue = self._fifos.get((layer, position, channel))
+        if not queue:
+            if self.strict_fifos:
+                raise SimulationError(
+                    f"D{layer}.{position} read empty FIFO{channel} at cycle "
+                    f"{self.cycles}"
+                )
+            self.fifo_underflows += 1
+            return 0
+        return queue[0]
+
+    def _fifo_pop(self, layer: int, position: int, channel: int) -> None:
+        queue = self._fifos.get((layer, position, channel))
+        if queue:
+            queue.popleft()
+
+    # ------------------------------------------------------------------
+    # Clock engine
+    # ------------------------------------------------------------------
+
+    def set_trace(self, callback: Optional[Callable[["Ring"], None]]) -> None:
+        """Install a per-cycle observer, called after each commit."""
+        self._trace = callback
+
+    def step(self, bus: int = 0,
+             host_in: Optional[HostReader] = None) -> None:
+        """Advance the fabric by one clock cycle.
+
+        Args:
+            bus: value currently driven on the shared bus by the
+                configuration controller.
+            host_in: resolver for ``HOST`` switch port sources — called as
+                ``host_in(channel)`` and expected to return the stream word
+                presented on that direct port this cycle.  Unrouted fabrics
+                may leave it None.
+        """
+        word.check(bus, "bus value")
+        geometry = self.geometry
+
+        # Phase 1: resolve inputs and evaluate every Dnode combinationally.
+        for layer in range(geometry.layers):
+            sw = self._switches[layer]
+            upstream = self._dnodes[self.upstream_layer(layer)]
+            for pos in range(geometry.width):
+                dn = self._dnodes[layer][pos]
+                inputs = DnodeInputs(
+                    in1=self._resolve_port(sw, upstream, pos, 1, bus, host_in),
+                    in2=self._resolve_port(sw, upstream, pos, 2, bus, host_in),
+                    bus=bus,
+                    fifo_peek=(lambda ch, _l=layer, _p=pos:
+                               self._fifo_peek(_l, _p, ch)),
+                    rp_read=sw.rp_read,
+                )
+                dn.evaluate(inputs)
+
+        # Phase 2: clock edge.  Capture the OUT values that were visible
+        # this cycle *before* committing, so pipeline shifts use them.
+        visible_outs = [
+            [dn.out for dn in layer_dnodes] for layer_dnodes in self._dnodes
+        ]
+        for layer in range(geometry.layers):
+            for pos in range(geometry.width):
+                pops = self._dnodes[layer][pos].commit()
+                for channel in pops:
+                    self._fifo_pop(layer, pos, channel)
+        for k in range(geometry.layers):
+            self._switches[k].shift(visible_outs[self.upstream_layer(k)])
+        self.cycles += 1
+        if self._trace is not None:
+            self._trace(self)
+
+    def run(self, cycles: int, bus: int = 0,
+            host_in: Optional[HostReader] = None) -> None:
+        """Step the fabric *cycles* times with constant bus/host context."""
+        if cycles < 0:
+            raise SimulationError(f"cycle count must be >= 0, got {cycles}")
+        for _ in range(cycles):
+            self.step(bus=bus, host_in=host_in)
+
+    def reset(self) -> None:
+        """Datapath reset: registers, pipelines, FIFOs, counters.
+
+        Configuration (microwords, modes, routing) is preserved, matching
+        a hardware reset that does not clear configuration SRAM.
+        """
+        for dn in self.all_dnodes():
+            dn.reset()
+        for sw in self._switches:
+            sw.reset()
+        self._fifos.clear()
+        self.cycles = 0
+        self.fifo_underflows = 0
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def instructions_executed(self) -> int:
+        """Total non-NOP microinstructions executed fabric-wide."""
+        return sum(dn.stats.instructions for dn in self.all_dnodes())
+
+    @property
+    def arithmetic_ops_executed(self) -> int:
+        """Total elementary operator activations (MAC counts as 2)."""
+        return sum(dn.stats.arithmetic_ops for dn in self.all_dnodes())
+
+    def utilization(self) -> float:
+        """Fraction of Dnode-cycles that executed a real instruction."""
+        total = sum(dn.stats.cycles for dn in self.all_dnodes())
+        if total == 0:
+            return 0.0
+        return self.instructions_executed / total
+
+    # ------------------------------------------------------------------
+
+    def _resolve_port(self, sw: Switch, upstream: List[Dnode], pos: int,
+                      port: int, bus: int,
+                      host_in: Optional[HostReader]) -> int:
+        src = sw.config.source_for(pos, port)
+        if src.kind is PortKind.ZERO:
+            return 0
+        if src.kind is PortKind.UP:
+            return upstream[src.index].out
+        if src.kind is PortKind.RP:
+            return sw.rp_read(src.index, src.lane)
+        if src.kind is PortKind.BUS:
+            return bus
+        if src.kind is PortKind.HOST:
+            if host_in is None:
+                raise SimulationError(
+                    f"switch {sw.index} routes port {port} of position "
+                    f"{pos} to host channel {src.index}, but no host "
+                    f"reader was supplied"
+                )
+            return word.check(host_in(src.index),
+                              f"host channel {src.index}")
+        raise SimulationError(f"unhandled port source {src!r}")
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"Ring(Ring-{g.dnodes}: {g.layers}x{g.width}, "
+            f"cycle={self.cycles})"
+        )
+
+
+def make_ring(dnodes: int, width: int = 2, **kwargs) -> Ring:
+    """Convenience constructor: ``make_ring(8)`` builds the paper's Ring-8."""
+    return Ring(RingGeometry.ring(dnodes, width=width), **kwargs)
+
+
+__all__ = ["Ring", "RingGeometry", "make_ring", "PortSource"]

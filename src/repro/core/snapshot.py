@@ -1,0 +1,105 @@
+"""Checkpoint/restore of complete fabric runtime state.
+
+Long systolic simulations (frame-level motion search, full-image
+transforms) benefit from checkpoints: capture *everything* live in the
+fabric — register files, output registers, feedback pipelines, FIFO
+contents, local-sequencer counters, cycle/statistics counters — and
+restore it later onto a same-geometry ring.  Configuration state is
+captured via a :class:`~repro.core.config_memory.ConfigPlane`, so one
+snapshot fully determines future behaviour: a restored ring is
+cycle-for-cycle identical to the original (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.config_memory import ConfigPlane
+from repro.core.ring import Ring
+from repro.errors import SimulationError
+
+
+@dataclass
+class RingSnapshot:
+    """Frozen runtime + configuration state of a ring."""
+
+    layers: int
+    width: int
+    pipeline_depth: int
+    cycles: int
+    configuration: ConfigPlane
+    registers: Dict[Tuple[int, int], List[int]] = field(
+        default_factory=dict)
+    outs: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    local_counters: Dict[Tuple[int, int], int] = field(
+        default_factory=dict)
+    pipelines: Dict[int, List[List[int]]] = field(default_factory=dict)
+    fifos: Dict[Tuple[int, int, int], List[int]] = field(
+        default_factory=dict)
+
+
+def capture(ring: Ring) -> RingSnapshot:
+    """Snapshot *ring*'s complete state (configuration + runtime)."""
+    geometry = ring.geometry
+    snapshot = RingSnapshot(
+        layers=geometry.layers,
+        width=geometry.width,
+        pipeline_depth=geometry.pipeline_depth,
+        cycles=ring.cycles,
+        configuration=ring.config.capture_plane(),
+    )
+    for dn in ring.all_dnodes():
+        addr = (dn.layer, dn.position)
+        snapshot.registers[addr] = dn.regs.snapshot()
+        snapshot.outs[addr] = dn.out
+        snapshot.local_counters[addr] = dn.local.counter
+    for k in range(geometry.layers):
+        sw = ring.switch(k)
+        snapshot.pipelines[k] = [
+            [sw.rp_read(stage, lane) for stage in
+             range(1, geometry.pipeline_depth + 1)]
+            for lane in range(1, geometry.width + 1)
+        ]
+    for layer in range(geometry.layers):
+        for pos in range(geometry.width):
+            for channel in (1, 2):
+                queue = list(ring.fifo(layer, pos, channel))
+                if queue:
+                    snapshot.fifos[(layer, pos, channel)] = queue
+    return snapshot
+
+
+def restore(ring: Ring, snapshot: RingSnapshot) -> None:
+    """Load *snapshot* onto *ring* (must share the exact geometry)."""
+    geometry = ring.geometry
+    if (geometry.layers, geometry.width, geometry.pipeline_depth) != \
+            (snapshot.layers, snapshot.width, snapshot.pipeline_depth):
+        raise SimulationError(
+            f"snapshot is for a {snapshot.layers}x{snapshot.width} ring "
+            f"(pipeline depth {snapshot.pipeline_depth}); target is "
+            f"{geometry.layers}x{geometry.width}"
+        )
+    ring.reset()
+    ring.config.apply_plane(snapshot.configuration)
+    for (layer, pos), values in snapshot.registers.items():
+        dn = ring.dnode(layer, pos)
+        for index, value in enumerate(values):
+            dn.regs.stage_write(index, value)
+            dn.regs.commit()
+        dn._out = snapshot.outs[(layer, pos)]
+        counter = snapshot.local_counters[(layer, pos)]
+        dn.local.reset_counter()
+        for _ in range(counter):
+            dn.local.advance()
+    for k, lanes in snapshot.pipelines.items():
+        sw = ring.switch(k)
+        # replay the lane histories oldest-first to rebuild the shift
+        # registers exactly
+        depth = snapshot.pipeline_depth
+        for stage in range(depth, 0, -1):
+            sw.shift([lanes[lane][stage - 1]
+                      for lane in range(snapshot.width)])
+    for (layer, pos, channel), values in snapshot.fifos.items():
+        ring.push_fifo(layer, pos, channel, values)
+    ring.cycles = snapshot.cycles

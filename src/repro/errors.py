@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Systolic Ring reproduction.
+
+Every error raised by the package derives from :class:`ReproError`, so
+applications embedding the simulator can catch one base type.  Sub-types
+separate the three layers a user interacts with: the hardware model
+(configuration/simulation), the toolchain (assembler/loader), and the host
+interface.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid fabric configuration (bad microword, illegal routing, ...)."""
+
+
+class SimulationError(ReproError):
+    """Runtime fault inside the cycle engine (deadlock, bad state, ...)."""
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error in Ring/RISC assembly source."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LoaderError(ReproError):
+    """Malformed object code or image that cannot be loaded."""
+
+
+class HostError(ReproError):
+    """Host-interface misuse (FIFO overrun, bus contention, ...)."""
+
+
+class TechnologyError(ReproError):
+    """Unknown technology node or invalid silicon-model parameter."""

@@ -1,0 +1,31 @@
+"""Host-side integration: data controller, DMA models, memories, SoC system.
+
+The Systolic Ring "is thus not intended to be a stand-alone solution,
+rather an IP core accelerator ... which would take place in a SoC"
+(paper §3).  This package provides everything around the fabric:
+
+* :mod:`repro.host.streams` — the specific input/output data controller
+  (direct dedicated ports of the switches, output taps);
+* :mod:`repro.host.dma` — bandwidth-limited transfer models (the 3 GB/s
+  theoretical on-chip path vs the 250 MB/s PCI protocol of §5.1);
+* :mod:`repro.host.memory` — word memories for the Fig. 6 prototype
+  (PRG / IMAGE / VIDEO);
+* :mod:`repro.host.system` — :class:`RingSystem`, wiring controller +
+  fabric + data controller into one clocked SoC model.
+"""
+
+from repro.host.streams import DataController, OutputTap, StreamChannel
+from repro.host.dma import TransferModel, ONCHIP_PORTS, PCI_BUS
+from repro.host.memory import WordMemory
+from repro.host.system import RingSystem
+
+__all__ = [
+    "DataController",
+    "OutputTap",
+    "StreamChannel",
+    "TransferModel",
+    "ONCHIP_PORTS",
+    "PCI_BUS",
+    "WordMemory",
+    "RingSystem",
+]

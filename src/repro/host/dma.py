@@ -1,0 +1,96 @@
+"""Bandwidth-limited host<->ring transfer models.
+
+Paper §5.1: "The theoretical maximum bandwidth of this version of the
+structure is about 3 Gbytes/s, limited to 250 Mbytes/s in our implemented
+communication protocol (a PCI based bus) between the host CPU and the
+core."
+
+The paper's testbed bus is replaced by analytic transfer models: given a
+byte count, a :class:`TransferModel` reports the transfer time and the
+number of fabric cycles the transfer spans — which is exactly what the
+§5.1 comparison (and the sustained-rate discussion in the conclusion)
+needs.  Two presets reproduce the paper's numbers:
+
+* :data:`ONCHIP_PORTS` — the direct dedicated ports: every Dnode layer
+  port moves 2 bytes per cycle, so a Ring-8 at 200 MHz reaches
+  8 x 2 B x 200 MHz = 3.2 GB/s ("about 3 Gbytes/s").
+* :data:`PCI_BUS` — the prototype's PCI-class protocol at 250 MB/s.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HostError
+
+DEFAULT_CLOCK_HZ = 200_000_000  # the paper's evaluated functional frequency
+BYTES_PER_WORD = 2              # 16-bit data paths throughout
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """A host<->core data path with a fixed bandwidth ceiling.
+
+    Attributes:
+        name: label used in reports.
+        bandwidth_bytes_per_s: sustained ceiling of the path.
+        latency_s: fixed per-transfer setup latency (bus arbitration /
+            DMA descriptor setup); zero for the on-chip ports.
+    """
+
+    name: str
+    bandwidth_bytes_per_s: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise HostError(
+                f"bandwidth must be positive, got {self.bandwidth_bytes_per_s}"
+            )
+        if self.latency_s < 0:
+            raise HostError(f"latency must be >= 0, got {self.latency_s}")
+
+    def transfer_time_s(self, nbytes: int) -> float:
+        """Seconds needed to move *nbytes* over this path."""
+        if nbytes < 0:
+            raise HostError(f"byte count must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    def transfer_cycles(self, nbytes: int,
+                        clock_hz: float = DEFAULT_CLOCK_HZ) -> int:
+        """Fabric cycles (at *clock_hz*) the transfer occupies."""
+        if clock_hz <= 0:
+            raise HostError(f"clock must be positive, got {clock_hz}")
+        return math.ceil(self.transfer_time_s(nbytes) * clock_hz)
+
+    def words_per_cycle(self, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+        """Sustained 16-bit words deliverable per fabric cycle."""
+        return self.bandwidth_bytes_per_s / (BYTES_PER_WORD * clock_hz)
+
+
+def onchip_ports(n_ports: int, clock_hz: float = DEFAULT_CLOCK_HZ) -> TransferModel:
+    """The direct dedicated switch ports: 2 bytes/port/cycle.
+
+    For the paper's Ring-8 this evaluates to 3.2 GB/s at 200 MHz, the
+    "about 3 Gbytes/s" theoretical maximum of §5.1.
+    """
+    if n_ports < 1:
+        raise HostError(f"need at least one port, got {n_ports}")
+    return TransferModel(
+        name=f"on-chip direct ports (x{n_ports})",
+        bandwidth_bytes_per_s=n_ports * BYTES_PER_WORD * clock_hz,
+    )
+
+
+#: Ring-8 direct-port path of §5.1 (~3 GB/s at 200 MHz).
+ONCHIP_PORTS = onchip_ports(8)
+
+#: The prototype's PCI-class bus of §5.1 (250 MB/s, typical ~1 us setup).
+PCI_BUS = TransferModel(
+    name="PCI host bus",
+    bandwidth_bytes_per_s=250_000_000,
+    latency_s=1e-6,
+)

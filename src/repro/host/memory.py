@@ -1,0 +1,91 @@
+"""Word-addressed memories for the Fig. 6 prototype emulation.
+
+The APEX prototype preloads a program memory (PRG), reads a 16-bit coded
+image from an IMAGE memory, and writes results into a VIDEO memory scanned
+out by a VGA controller.  :class:`WordMemory` models those as flat 16-bit
+word arrays with image import/export helpers, so the prototype example can
+check the framebuffer content directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro import word
+from repro.errors import HostError
+
+
+class WordMemory:
+    """A flat memory of 16-bit words (PRG / IMAGE / VIDEO in Fig. 6)."""
+
+    def __init__(self, size: int, name: str = "mem"):
+        if size < 1:
+            raise HostError(f"memory size must be >= 1 word, got {size}")
+        self.size = size
+        self.name = name
+        self._words: List[int] = [0] * size
+
+    def read(self, address: int) -> int:
+        """Read the word at *address*."""
+        self._check(address)
+        return self._words[address]
+
+    def write(self, address: int, value: int) -> None:
+        """Write one word at *address*."""
+        self._check(address)
+        self._words[address] = word.check(value, f"{self.name} write")
+
+    def load(self, values: Iterable[int], base: int = 0) -> int:
+        """Bulk-load *values* starting at *base*; returns words written."""
+        count = 0
+        for offset, value in enumerate(values):
+            self.write(base + offset, value)
+            count += 1
+        return count
+
+    def dump(self, base: int = 0, count: Optional[int] = None) -> List[int]:
+        """Copy *count* words starting at *base* (to the end by default)."""
+        self._check(base)
+        if count is None:
+            count = self.size - base
+        if count < 0 or base + count > self.size:
+            raise HostError(
+                f"{self.name}: dump of {count} words at {base} exceeds "
+                f"size {self.size}"
+            )
+        return self._words[base:base + count]
+
+    # -- image helpers (16-bit coded images, Fig. 6) ---------------------
+
+    def load_image(self, image: np.ndarray, base: int = 0) -> int:
+        """Store a 2-D image row-major as raw 16-bit words."""
+        if image.ndim != 2:
+            raise HostError(
+                f"{self.name}: expected a 2-D image, got shape {image.shape}"
+            )
+        flat = [word.from_signed(int(v)) for v in image.reshape(-1)]
+        return self.load(flat, base)
+
+    def read_image(self, shape: Tuple[int, int], base: int = 0,
+                   signed: bool = True) -> np.ndarray:
+        """Reassemble a 2-D image previously stored row-major."""
+        rows, cols = shape
+        raw = self.dump(base, rows * cols)
+        if signed:
+            values = [word.to_signed(v) for v in raw]
+            return np.array(values, dtype=np.int32).reshape(rows, cols)
+        return np.array(raw, dtype=np.uint16).reshape(rows, cols)
+
+    def _check(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise HostError(
+                f"{self.name}: address {address} outside 0..{self.size - 1}"
+            )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"WordMemory({self.name}, {self.size} words)"

@@ -1,0 +1,173 @@
+"""The specific input/output data controller of the Systolic Ring.
+
+Paper §4.1/§4.2: the switches manage "data communications with the host
+processor by direct dedicated ports", and the local mode "joined to a
+specific input/output Data controller ... allows very efficient and high
+bandwidth data oriented computation".
+
+* :class:`StreamChannel` — an input stream presented on a direct port:
+  one 16-bit word per fabric cycle (the head value is stable within a
+  cycle; the channel advances at the clock edge).
+* :class:`OutputTap` — samples a Dnode's output register every cycle
+  (optionally after a pipeline-fill delay), collecting result streams.
+* :class:`DataController` — the bank of channels and taps a
+  :class:`~repro.host.system.RingSystem` drives each cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro import word
+from repro.errors import HostError
+
+
+class StreamChannel:
+    """One direct host->fabric input port (a synchronous word stream).
+
+    The value returned by :meth:`current` stays constant within a cycle;
+    :meth:`advance` (called once per cycle by the data controller) moves to
+    the next word.  When the stream runs dry the port presents *idle_value*
+    and counts the underrun, so pipeline drain cycles are harmless but
+    observable.
+    """
+
+    def __init__(self, values: Optional[Iterable[int]] = None,
+                 idle_value: int = 0):
+        self._queue: Deque[int] = deque()
+        self.idle_value = word.check(idle_value, "idle value")
+        self.delivered = 0
+        self.underruns = 0
+        if values is not None:
+            self.push(values)
+
+    def push(self, values) -> None:
+        """Queue one word or an iterable of words for streaming."""
+        if isinstance(values, int):
+            values = [values]
+        for v in values:
+            self._queue.append(word.check(v, "stream word"))
+
+    def current(self) -> int:
+        """The word presented on the port this cycle."""
+        if not self._queue:
+            self.underruns += 1
+            return self.idle_value
+        return self._queue[0]
+
+    def advance(self) -> None:
+        """Clock edge: consume the presented word."""
+        if self._queue:
+            self._queue.popleft()
+            self.delivered += 1
+
+    def pending(self) -> int:
+        """Words still queued."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamChannel(pending={len(self._queue)}, "
+            f"delivered={self.delivered})"
+        )
+
+
+class OutputTap:
+    """Samples one Dnode's output register each cycle.
+
+    Args:
+        layer, position: which Dnode to observe.
+        skip: number of initial cycles to ignore (pipeline fill).
+        every: sample period — keep one sample every *every* cycles
+            (1 = every cycle).
+        limit: stop collecting after this many samples (None = unbounded).
+    """
+
+    def __init__(self, layer: int, position: int, skip: int = 0,
+                 every: int = 1, limit: Optional[int] = None):
+        if skip < 0:
+            raise HostError(f"skip must be >= 0, got {skip}")
+        if every < 1:
+            raise HostError(f"every must be >= 1, got {every}")
+        if limit is not None and limit < 0:
+            raise HostError(f"limit must be >= 0, got {limit}")
+        self.layer = layer
+        self.position = position
+        self.skip = skip
+        self.every = every
+        self.limit = limit
+        self.samples: List[int] = []
+        self._seen = 0
+
+    def observe(self, value: int) -> None:
+        """Record this cycle's post-edge output value (if selected)."""
+        self._seen += 1
+        if self._seen <= self.skip:
+            return
+        if (self._seen - self.skip - 1) % self.every != 0:
+            return
+        if self.limit is not None and len(self.samples) >= self.limit:
+            return
+        self.samples.append(value)
+
+    @property
+    def full(self) -> bool:
+        """True once *limit* samples are collected."""
+        return self.limit is not None and len(self.samples) >= self.limit
+
+    def __repr__(self) -> str:
+        return (
+            f"OutputTap(D{self.layer}.{self.position}, "
+            f"samples={len(self.samples)})"
+        )
+
+
+class DataController:
+    """Bank of stream channels and output taps driven once per cycle."""
+
+    def __init__(self):
+        self._channels: Dict[int, StreamChannel] = {}
+        self.taps: List[OutputTap] = []
+
+    def channel(self, index: int) -> StreamChannel:
+        """The stream channel behind direct-port index (created on demand)."""
+        if index < 0:
+            raise HostError(f"channel index must be >= 0, got {index}")
+        if index not in self._channels:
+            self._channels[index] = StreamChannel()
+        return self._channels[index]
+
+    def stream(self, index: int, values) -> StreamChannel:
+        """Queue *values* on channel *index* (convenience)."""
+        ch = self.channel(index)
+        ch.push(values)
+        return ch
+
+    def add_tap(self, layer: int, position: int, **kwargs) -> OutputTap:
+        """Attach an output tap to a Dnode; returns it for later reading."""
+        tap = OutputTap(layer, position, **kwargs)
+        self.taps.append(tap)
+        return tap
+
+    def host_in(self, index: int) -> int:
+        """Resolver handed to :meth:`repro.core.ring.Ring.step`."""
+        return self.channel(index).current()
+
+    def advance(self) -> None:
+        """Clock edge: every channel moves to its next word."""
+        for ch in self._channels.values():
+            ch.advance()
+
+    def collect(self, ring) -> None:
+        """Sample every tap from the post-edge fabric state."""
+        for tap in self.taps:
+            tap.observe(ring.dnode(tap.layer, tap.position).out)
+
+    def total_words_in(self) -> int:
+        """Words actually streamed into the fabric so far."""
+        return sum(ch.delivered for ch in self._channels.values())
+
+    def total_words_out(self) -> int:
+        """Samples collected across all taps so far."""
+        return sum(len(tap.samples) for tap in self.taps)

@@ -1,0 +1,149 @@
+"""RingSystem: controller + fabric + data controller on one clock.
+
+This is the SoC-level view of Fig. 2: the host CPU uploads management code
+to the configuration controller, streams data through the data controller's
+direct ports, and reads results back.  One :meth:`RingSystem.step` is one
+clock of the whole accelerator:
+
+1. the controller executes one instruction and its configuration commands
+   are applied to the fabric (a configuration written at cycle *t* governs
+   the fabric from cycle *t* on — the hardware-multiplexing rate of one
+   full-function change per cycle);
+2. the ring evaluates and commits one cycle, reading the shared bus value
+   currently driven by the controller and the direct-port streams;
+3. the data controller samples output taps and advances input streams.
+
+A system can also run *uncontrolled* (controller=None) when the fabric is
+fully configured up front and left in local mode — the stand-alone
+operating point the paper's multi-level reconfiguration enables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config_memory import ConfigPlane
+from repro.core.ring import Ring
+from repro.controller.core import (
+    ConfigCommand,
+    ConfigTargetKind,
+    RiscController,
+)
+from repro.host.streams import DataController
+from repro.errors import SimulationError
+
+
+class RingSystem:
+    """A complete Systolic Ring accelerator instance."""
+
+    def __init__(self, ring: Ring,
+                 controller: Optional[RiscController] = None,
+                 planes: Optional[Sequence[ConfigPlane]] = None):
+        self.ring = ring
+        self.controller = controller
+        self.planes: List[ConfigPlane] = list(planes or [])
+        self.data = DataController()
+        self.cycles = 0
+        if controller is not None:
+            width = ring.geometry.width
+            controller.fabric_reader = (
+                lambda dnode: ring.dnode(*divmod(dnode, width)).out)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the whole accelerator by one clock cycle."""
+        bus = 0
+        if self.controller is not None:
+            commands = self.controller.step()
+            for command in commands:
+                self._apply(command)
+            bus = self.controller.bus_out
+        self.ring.step(bus=bus, host_in=self.data.host_in)
+        self.data.collect(self.ring)
+        self.data.advance()
+        self.cycles += 1
+
+    def run(self, cycles: int) -> None:
+        """Step *cycles* times."""
+        if cycles < 0:
+            raise SimulationError(f"cycle count must be >= 0, got {cycles}")
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_halt(self, max_cycles: int = 1_000_000,
+                       drain: int = 0) -> int:
+        """Run until the controller halts (plus *drain* extra cycles).
+
+        Returns the number of cycles executed.  Raises if no controller is
+        attached or the limit is hit — a silent infinite loop is always a
+        bug in the management code.
+        """
+        if self.controller is None:
+            raise SimulationError("run_until_halt needs a controller")
+        start = self.cycles
+        while not self.controller.halted:
+            self.step()
+            if self.cycles - start > max_cycles:
+                raise SimulationError(
+                    f"controller did not halt within {max_cycles} cycles"
+                )
+        for _ in range(drain):
+            self.step()
+        return self.cycles - start
+
+    def run_until_taps_full(self, max_cycles: int = 1_000_000) -> int:
+        """Run until every limited output tap has all its samples."""
+        limited = [t for t in self.data.taps if t.limit is not None]
+        if not limited:
+            raise SimulationError(
+                "run_until_taps_full needs at least one tap with a limit"
+            )
+        start = self.cycles
+        while not all(t.full for t in limited):
+            self.step()
+            if self.cycles - start > max_cycles:
+                raise SimulationError(
+                    f"taps not full within {max_cycles} cycles "
+                    f"({[len(t.samples) for t in limited]} collected)"
+                )
+        return self.cycles - start
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, command: ConfigCommand) -> None:
+        """Apply one controller configuration command to the fabric."""
+        cfg = self.ring.config
+        width = self.ring.geometry.width
+        if command.kind in (ConfigTargetKind.DNODE_WORD,
+                            ConfigTargetKind.LOCAL_SLOT,
+                            ConfigTargetKind.LOCAL_LIMIT,
+                            ConfigTargetKind.MODE):
+            layer, pos = divmod(command.dnode, width)
+        if command.kind is ConfigTargetKind.DNODE_WORD:
+            cfg.write_microword(layer, pos, command.microword)
+        elif command.kind is ConfigTargetKind.LOCAL_SLOT:
+            cfg.write_local_slot(layer, pos, command.slot, command.microword)
+        elif command.kind is ConfigTargetKind.LOCAL_LIMIT:
+            cfg.write_local_limit(layer, pos, command.limit)
+        elif command.kind is ConfigTargetKind.MODE:
+            from repro.core.dnode import DnodeMode
+            mode = DnodeMode.LOCAL if command.mode else DnodeMode.GLOBAL
+            cfg.write_mode(layer, pos, mode)
+        elif command.kind is ConfigTargetKind.SWITCH_ROUTE:
+            cfg.write_switch_route(command.sw, command.pos, command.port,
+                                   command.route)
+        elif command.kind is ConfigTargetKind.PLANE:
+            if not 0 <= command.plane < len(self.planes):
+                raise SimulationError(
+                    f"CFGPLANE {command.plane}: only {len(self.planes)} "
+                    f"plane(s) installed"
+                )
+            cfg.apply_plane(self.planes[command.plane])
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"unhandled config command {command!r}")
+
+    def __repr__(self) -> str:
+        ctrl = "no controller" if self.controller is None else repr(
+            self.controller)
+        return f"RingSystem({self.ring!r}, {ctrl}, cycle={self.cycles})"

@@ -1,0 +1,115 @@
+"""The paper's application kernels, as reference code and fabric mappings.
+
+Each kernel module provides (a) a bit-exact reference implementation and
+(b) a mapping that configures a :class:`~repro.core.ring.Ring` /
+:class:`~repro.host.system.RingSystem` to compute the same function,
+returning both results and cycle counts:
+
+* :mod:`repro.kernels.reference` — numpy/integer golden models;
+* :mod:`repro.kernels.fir` — transversal FIR, spatial (one tap per layer,
+  1 sample/cycle) and resource-shared (one Dnode, local mode);
+* :mod:`repro.kernels.iir` — recursive filters using the SELF feedback
+  path (the "RII" macro-operator of the conclusion) and the MAC
+  macro-operator;
+* :mod:`repro.kernels.wavelet` — the 5/3 lifting DWT of Table 2;
+* :mod:`repro.kernels.motion_estimation` — the full-search block matcher
+  of Table 1;
+* :mod:`repro.kernels.fifo_emulation` — Dnode-as-FIFO (local mode), one
+  of the paper's stand-alone macro-operators.
+"""
+
+from repro.kernels import reference
+from repro.kernels.fir import (
+    FirResult,
+    build_spatial_fir,
+    shared_fir,
+    shared_fir_program,
+    spatial_fir,
+)
+from repro.kernels.iir import (
+    IirResult,
+    biquad,
+    biquad_program,
+    build_first_order_iir,
+    first_order_iir,
+    mac_accumulate,
+    reference_biquad,
+)
+from repro.kernels.wavelet import (
+    WaveletResult,
+    build_lifting_system,
+    dwt53_2d_fabric,
+    dwt53_2d_multilevel_fabric,
+    lifting53_forward_fabric,
+    wavelet_cycle_model,
+)
+from repro.kernels.motion_estimation import (
+    FrameMotionResult,
+    MotionEstimationResult,
+    build_me_system,
+    cycle_model as me_cycle_model,
+    estimate_frame_motion,
+    full_search_me,
+)
+from repro.kernels.dct import (
+    DctResult,
+    build_dct_system,
+    dct8_fabric,
+    dct8_float,
+    dct8_reference,
+)
+from repro.kernels.matrix import (
+    MatVecResult,
+    build_matvec_system,
+    matvec_fabric,
+    matvec_reference,
+    row_program,
+)
+from repro.kernels.fifo_emulation import (
+    FifoPlan,
+    build_delay_line,
+    delay_line,
+    plan_delay,
+)
+
+__all__ = [
+    "reference",
+    "FirResult",
+    "build_spatial_fir",
+    "shared_fir",
+    "shared_fir_program",
+    "spatial_fir",
+    "IirResult",
+    "biquad",
+    "biquad_program",
+    "build_first_order_iir",
+    "first_order_iir",
+    "mac_accumulate",
+    "reference_biquad",
+    "WaveletResult",
+    "build_lifting_system",
+    "dwt53_2d_fabric",
+    "dwt53_2d_multilevel_fabric",
+    "lifting53_forward_fabric",
+    "wavelet_cycle_model",
+    "FrameMotionResult",
+    "MotionEstimationResult",
+    "build_me_system",
+    "me_cycle_model",
+    "estimate_frame_motion",
+    "full_search_me",
+    "DctResult",
+    "build_dct_system",
+    "dct8_fabric",
+    "dct8_float",
+    "dct8_reference",
+    "MatVecResult",
+    "build_matvec_system",
+    "matvec_fabric",
+    "matvec_reference",
+    "row_program",
+    "FifoPlan",
+    "build_delay_line",
+    "delay_line",
+    "plan_delay",
+]

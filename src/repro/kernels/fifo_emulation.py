@@ -1,0 +1,100 @@
+"""FIFO / delay-line emulation — a local-mode macro-operator.
+
+Paper §4.1: in stand-alone mode the Dnode "is able to compute various
+algorithms like MAC, serial digital filters, FIFO emulation without RISC
+controller overheading".  A chain of pass-through Dnodes is a clocked
+FIFO of one word per Dnode; reading the upstream switch's feedback
+pipeline taps stretches each hop by up to 4 extra cycles, so *depth* words
+of delay cost only ``ceil(depth / (1 + pipeline_depth))`` Dnodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import word
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry
+from repro.core.switch import PortSource
+from repro.errors import ConfigurationError
+from repro.host.system import RingSystem
+
+
+@dataclass
+class FifoPlan:
+    """How a requested delay maps onto Dnodes and pipeline taps."""
+
+    depth: int
+    dnodes_used: int
+    taps_per_hop: List[int]   # delay contributed by each hop
+
+
+def plan_delay(depth: int, pipeline_depth: int = 4) -> FifoPlan:
+    """Plan a FIFO of *depth* words as (Dnode + pipeline-tap) hops.
+
+    The first hop must read the host port directly (the feedback
+    pipelines only hold Dnode outputs) and costs one cycle; each further
+    hop through a Dnode costs one cycle plus up to *pipeline_depth* extra
+    cycles when it reads tap ``Rp(i, .)`` instead of the direct input.
+    Total chain latency is ``depth + 1`` cycles, which pops each word
+    exactly *depth* slots after its push.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"FIFO depth must be >= 1, got {depth}")
+    per_hop_max = 1 + pipeline_depth
+    taps = [1]
+    remaining = depth  # remaining latency after the mandatory first hop
+    while remaining > 0:
+        hop = min(remaining, per_hop_max)
+        taps.append(hop)
+        remaining -= hop
+    return FifoPlan(depth=depth, dnodes_used=len(taps), taps_per_hop=taps)
+
+
+def build_delay_line(depth: int,
+                     ring: Optional[Ring] = None) -> RingSystem:
+    """Configure lane 0 of *ring* as a *depth*-cycle FIFO from host ch 0."""
+    plan = plan_delay(depth)
+    if ring is None:
+        ring = Ring(RingGeometry(layers=max(plan.dnodes_used, 2), width=2))
+    if plan.dnodes_used > ring.geometry.layers:
+        raise ConfigurationError(
+            f"delay of {depth} needs {plan.dnodes_used} layers, ring has "
+            f"{ring.geometry.layers}"
+        )
+    cfg = ring.config
+    cfg.write_switch_route(0, 0, 1, PortSource.host(0))
+    for k, hop in enumerate(plan.taps_per_hop):
+        if hop == 1:
+            source = Source.IN1
+            if k > 0:
+                cfg.write_switch_route(k, 0, 1, PortSource.up(0))
+        else:
+            # Rp(i, 1) = upstream lane-0 value, i cycles older than IN1.
+            source = Source.rp(hop - 1, 1)
+            if k == 0:
+                raise ConfigurationError(
+                    "first hop must read the host port directly; "
+                    "increase the ring length"
+                )
+        cfg.write_microword(k, 0, MicroWord(Opcode.MOV, source,
+                                            dst=Dest.OUT))
+    return RingSystem(ring)
+
+
+def delay_line(signal: Sequence[int], depth: int,
+               ring: Optional[Ring] = None) -> List[int]:
+    """Push *signal* through a *depth*-cycle FIFO; returns delayed output.
+
+    The output equals ``[0]*depth + signal`` truncated to ``len(signal)``
+    — i.e. exactly a hardware FIFO primed with zeros.
+    """
+    system = build_delay_line(depth, ring)
+    plan = plan_delay(depth)
+    samples = [word.from_signed(int(v)) for v in signal]
+    system.data.stream(0, samples)
+    out_layer = plan.dnodes_used - 1
+    tap = system.data.add_tap(out_layer, 0, limit=len(samples))
+    system.run(len(samples))
+    return [word.to_signed(v) for v in tap.samples]

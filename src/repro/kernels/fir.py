@@ -1,0 +1,260 @@
+"""FIR ("RIF") filters on the Systolic Ring.
+
+Two mappings, matching the paper's two operating points:
+
+* :func:`spatial_fir` — one tap per layer, **1 sample/cycle**.  Lane 0
+  carries the sample stream (one-cycle delay per layer), lane 1 carries
+  the travelling partial sum; tap *k*'s coefficient lives in the
+  configuration immediate of a ``MADD`` (multiplier chained into the
+  adder).  The one-cycle-older sample each tap needs comes from the
+  upstream switch's feedback pipeline (``Rp(1, 1)``) — exactly the
+  paper's "the required delays on recursive branch are automatically
+  achieved in them".
+
+* :func:`shared_fir` — the resource-shared variant the conclusion calls
+  out ("the integration of a RIF filter using resource sharing ... is
+  impossible without very efficient dynamical reconfiguration"): a
+  *single* Dnode in local mode computes up to 4 taps, keeping the sample
+  window in its register file, at 1 sample per ``2T - 1`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro import word
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry
+from repro.core.switch import PortSource
+from repro.errors import ConfigurationError
+from repro.host.system import RingSystem
+
+
+@dataclass
+class FirResult:
+    """Outcome of a fabric FIR run."""
+
+    outputs: List[int]        # signed filter outputs
+    cycles: int               # fabric cycles consumed
+    dnodes_used: int
+    samples_per_cycle: float  # sustained throughput
+
+    @property
+    def cycles_per_sample(self) -> float:
+        return 1.0 / self.samples_per_cycle
+
+
+def _check_taps(taps: Sequence[int], maximum: int) -> List[int]:
+    coeffs = [int(t) for t in taps]
+    if not 1 <= len(coeffs) <= maximum:
+        raise ConfigurationError(
+            f"this mapping supports 1..{maximum} taps, got {len(coeffs)}"
+        )
+    return coeffs
+
+
+def build_spatial_fir(taps: Sequence[int],
+                      ring: Optional[Ring] = None) -> RingSystem:
+    """Configure a ring as a T-tap transversal FIR (one tap per layer).
+
+    Layer 0 consumes the host stream on channel 0 with both lanes (pass +
+    first product); each further layer k passes the delayed sample on
+    lane 0 and executes ``partial + c_k * x`` on lane 1.
+    """
+    coeffs = None
+    if ring is None:
+        layers = max(len(list(taps)), 2)
+        ring = Ring(RingGeometry(layers=layers, width=2))
+    coeffs = _check_taps(taps, ring.geometry.layers)
+    cfg = ring.config
+
+    # Layer 0: lane 0 passes x, lane 1 computes c0 * x.
+    cfg.write_switch_route(0, 0, 1, PortSource.host(0))
+    cfg.write_switch_route(0, 1, 1, PortSource.host(0))
+    cfg.write_microword(0, 0, MicroWord(Opcode.MOV, Source.IN1,
+                                        dst=Dest.OUT))
+    cfg.write_microword(0, 1, MicroWord(
+        Opcode.MUL, Source.IN1, Source.IMM, Dest.OUT,
+        imm=word.from_signed(coeffs[0])))
+
+    for k in range(1, len(coeffs)):
+        cfg.write_switch_route(k, 1, 1, PortSource.up(1))   # partial
+        # Lane 0 re-times x through the feedback pipeline: two cycles of
+        # delay per layer, so the sample stream and the travelling
+        # partial (one cycle per layer) stay tap-aligned at every depth.
+        cfg.write_microword(k, 0, MicroWord(Opcode.MOV, Source.rp(1, 1),
+                                            dst=Dest.OUT))
+        # partial + c_k * x(one more cycle older, same pipeline)
+        cfg.write_microword(k, 1, MicroWord(
+            Opcode.MADD, Source.IN1, Source.rp(1, 1), Dest.OUT,
+            imm=word.from_signed(coeffs[k])))
+    return RingSystem(ring)
+
+
+def spatial_fir(taps: Sequence[int], signal: Sequence[int],
+                ring: Optional[Ring] = None) -> FirResult:
+    """Run the spatial FIR over *signal* and return signed outputs.
+
+    Bit-exact against :func:`repro.kernels.reference.fir` whenever the
+    true outputs fit in 16 bits (otherwise both wrap identically mod
+    2^16 only on the fabric side).
+    """
+    system = build_spatial_fir(taps, ring)
+    n_taps = len(list(taps))
+    samples = [word.from_signed(int(v)) for v in signal]
+    system.data.stream(0, samples)
+    out_layer = n_taps - 1
+    tap = system.data.add_tap(out_layer, 1, skip=n_taps - 1,
+                              limit=len(samples))
+    system.run(len(samples) + n_taps)
+    outputs = [word.to_signed(v) for v in tap.samples]
+    return FirResult(
+        outputs=outputs,
+        cycles=system.cycles,
+        dnodes_used=2 * n_taps,
+        samples_per_cycle=1.0,
+    )
+
+
+def shared_fir_program(taps: Sequence[int]) -> List[MicroWord]:
+    """The local-mode loop of the resource-shared FIR (<= 4 taps).
+
+    Slot layout for T taps (period ``2T - 1`` cycles)::
+
+        0:      mul  r0, fifo1, #c0          ; newest sample (peek)
+        1..T-1: madd r0, r0, r<k>, #ck       ; window from registers
+                (the last one carries [wout] to publish y)
+        T..:    mov  r<k>, r<k-1>            ; shift the window
+        last:   mov  r1, fifo1 [pop1]        ; consume the sample
+
+    A single-tap filter degenerates to one ``mul ... [wout] [pop1]`` slot.
+    """
+    coeffs = _check_taps(taps, 4)
+    t = len(coeffs)
+    if t == 1:
+        return [MicroWord(Opcode.MUL, Source.FIFO1, Source.IMM, Dest.OUT,
+                          flags=Flag.POP_FIFO1,
+                          imm=word.from_signed(coeffs[0]))]
+    program = [MicroWord(Opcode.MUL, Source.FIFO1, Source.IMM, Dest.R0,
+                         imm=word.from_signed(coeffs[0]))]
+    for k in range(1, t):
+        flags = Flag.WRITE_OUT if k == t - 1 else Flag.NONE
+        program.append(MicroWord(
+            Opcode.MADD, Source.R0, Source(int(Source.R0) + k), Dest.R0,
+            flags=flags, imm=word.from_signed(coeffs[k])))
+    for k in range(t - 1, 1, -1):
+        program.append(MicroWord(
+            Opcode.MOV, Source(int(Source.R0) + k - 1),
+            dst=Dest(int(Dest.R0) + k)))
+    program.append(MicroWord(Opcode.MOV, Source.FIFO1, dst=Dest.R1,
+                             flags=Flag.POP_FIFO1))
+    return program
+
+
+def interleaved_fir_program(taps_a: Sequence[int],
+                            taps_b: Sequence[int]) -> List[MicroWord]:
+    """One Dnode running TWO independent 2-tap filters, time-multiplexed.
+
+    The paper motivates the architecture with "multi-standard handies" —
+    one fabric serving several protocols at once.  At Dnode granularity
+    the local sequencer already supports it: channel A streams through
+    FIFO1 (window in R1), channel B through FIFO2 (window in R2), and the
+    six slots interleave the two filters::
+
+        0: mul  r0, fifo1, #a0          3: mul  r0, fifo2, #b0
+        1: madd r0, r0, r1, #a1 [wout]  4: madd r0, r0, r2, #b1 [wout]
+        2: mov  r1, fifo1 [pop1]        5: mov  r2, fifo2 [pop2]
+
+    OUT alternates y_A, y_B every 3 cycles.
+    """
+    a = _check_taps(taps_a, 2)
+    b = _check_taps(taps_b, 2)
+    if len(a) != 2 or len(b) != 2:
+        raise ConfigurationError(
+            "the interleaved mapping multiplexes two 2-tap filters"
+        )
+    return [
+        MicroWord(Opcode.MUL, Source.FIFO1, Source.IMM, Dest.R0,
+                  imm=word.from_signed(a[0])),
+        MicroWord(Opcode.MADD, Source.R0, Source.R1, Dest.R0,
+                  flags=Flag.WRITE_OUT, imm=word.from_signed(a[1])),
+        MicroWord(Opcode.MOV, Source.FIFO1, dst=Dest.R1,
+                  flags=Flag.POP_FIFO1),
+        MicroWord(Opcode.MUL, Source.FIFO2, Source.IMM, Dest.R0,
+                  imm=word.from_signed(b[0])),
+        MicroWord(Opcode.MADD, Source.R0, Source.R2, Dest.R0,
+                  flags=Flag.WRITE_OUT, imm=word.from_signed(b[1])),
+        MicroWord(Opcode.MOV, Source.FIFO2, dst=Dest.R2,
+                  flags=Flag.POP_FIFO2),
+    ]
+
+
+def interleaved_fir(taps_a: Sequence[int], taps_b: Sequence[int],
+                    signal_a: Sequence[int], signal_b: Sequence[int],
+                    ring: Optional[Ring] = None,
+                    layer: int = 0, position: int = 0,
+                    ) -> Tuple[List[int], List[int]]:
+    """Run two independent 2-tap FIRs on one Dnode (multi-standard mode).
+
+    Returns ``(outputs_a, outputs_b)``, each bit-exact against
+    :func:`repro.kernels.reference.fir` for its own channel.
+    """
+    if len(signal_a) != len(signal_b):
+        raise ConfigurationError(
+            "the interleaved channels must have equal length"
+        )
+    if ring is None:
+        ring = Ring(RingGeometry(layers=2, width=2))
+    program = interleaved_fir_program(taps_a, taps_b)
+    ring.config.write_local_program(layer, position, program)
+    ring.config.write_mode(layer, position, DnodeMode.LOCAL)
+    ring.push_fifo(layer, position, 1,
+                   [word.from_signed(int(v)) for v in signal_a])
+    ring.push_fifo(layer, position, 2,
+                   [word.from_signed(int(v)) for v in signal_b])
+    dn = ring.dnode(layer, position)
+    out_a: List[int] = []
+    out_b: List[int] = []
+    for _ in signal_a:
+        for slot in range(6):
+            ring.step()
+            if slot == 1:
+                out_a.append(word.to_signed(dn.out))
+            elif slot == 4:
+                out_b.append(word.to_signed(dn.out))
+    return out_a, out_b
+
+
+def shared_fir(taps: Sequence[int], signal: Sequence[int],
+               ring: Optional[Ring] = None,
+               layer: int = 0, position: int = 0) -> FirResult:
+    """Run the resource-shared FIR on one Dnode of *ring*."""
+    coeffs = _check_taps(taps, 4)
+    if ring is None:
+        ring = Ring(RingGeometry(layers=2, width=2))
+    program = shared_fir_program(coeffs)
+    period = len(program)
+    ring.config.write_local_program(layer, position, program)
+    ring.config.write_mode(layer, position, DnodeMode.LOCAL)
+
+    samples = [word.from_signed(int(v)) for v in signal]
+    ring.push_fifo(layer, position, 1, samples)
+
+    t = len(coeffs)
+    outputs: List[int] = []
+    dn = ring.dnode(layer, position)
+    publish_slot = t - 1 if t > 1 else 0
+    for n in range(len(samples)):
+        # run one period; y_n becomes visible after the publish slot
+        for slot in range(period):
+            ring.step()
+            if slot == publish_slot:
+                outputs.append(word.to_signed(dn.out))
+    return FirResult(
+        outputs=outputs,
+        cycles=ring.cycles,
+        dnodes_used=1,
+        samples_per_cycle=1.0 / period,
+    )

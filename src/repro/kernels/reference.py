@@ -1,0 +1,241 @@
+"""Golden reference implementations of every kernel used in the paper.
+
+These are plain-integer/numpy implementations with the exact arithmetic
+the fabric uses (floor divisions implemented as arithmetic shifts, no
+floating point), so fabric outputs can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+# ----------------------------------------------------------------------
+# Block matching / motion estimation (Table 1)
+# ----------------------------------------------------------------------
+
+
+def sad(block_a: np.ndarray, block_b: np.ndarray) -> int:
+    """Sum of absolute differences between two equal-shape blocks."""
+    if block_a.shape != block_b.shape:
+        raise SimulationError(
+            f"SAD shapes differ: {block_a.shape} vs {block_b.shape}"
+        )
+    return int(np.abs(block_a.astype(np.int64)
+                      - block_b.astype(np.int64)).sum())
+
+
+def full_search(reference_block: np.ndarray, search_area: np.ndarray,
+                ) -> Tuple[Tuple[int, int], int, np.ndarray]:
+    """Exhaustive block matching of *reference_block* inside *search_area*.
+
+    Every alignment of the block inside the search area is a candidate
+    (for an 8x8 block in a 24x24 area this is the paper's 17x17 = 289
+    candidates for +/-8 pixel displacement).
+
+    Returns:
+        ``((dy, dx), best_sad, sad_map)`` where ``(dy, dx)`` is the
+        top-left offset of the best candidate and ``sad_map`` holds the
+        SAD of every candidate position.
+    """
+    bh, bw = reference_block.shape
+    sh, sw = search_area.shape
+    if sh < bh or sw < bw:
+        raise SimulationError(
+            f"search area {search_area.shape} smaller than block "
+            f"{reference_block.shape}"
+        )
+    ny, nx = sh - bh + 1, sw - bw + 1
+    sad_map = np.zeros((ny, nx), dtype=np.int64)
+    for dy in range(ny):
+        for dx in range(nx):
+            sad_map[dy, dx] = sad(reference_block,
+                                  search_area[dy:dy + bh, dx:dx + bw])
+    best = np.unravel_index(int(np.argmin(sad_map)), sad_map.shape)
+    return (int(best[0]), int(best[1])), int(sad_map[best]), sad_map
+
+
+# ----------------------------------------------------------------------
+# 5/3 lifting wavelet (Table 2) — Le Gall, JPEG2000 reversible filter
+# ----------------------------------------------------------------------
+
+
+def lifting53_forward(signal: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """One level of the forward 5/3 lifting transform on a 1-D signal.
+
+    Uses symmetric extension at the borders (JPEG2000 convention)::
+
+        d[n] = x[2n+1] - floor((x[2n] + x[2n+2]) / 2)
+        s[n] = x[2n]   + floor((d[n-1] + d[n] + 2) / 4)
+
+    Args:
+        signal: even-length integer sequence.
+
+    Returns:
+        ``(approximation, detail)`` coefficient lists, each half length.
+    """
+    x = [int(v) for v in signal]
+    n = len(x)
+    if n < 2 or n % 2 != 0:
+        raise SimulationError(
+            f"lifting needs an even-length signal of >= 2, got {n}"
+        )
+    half = n // 2
+
+    def even(i: int) -> int:
+        # symmetric extension: x[2*half] -> x[2*half - 2]
+        return x[2 * i] if i < half else x[2 * (half - 1)]
+
+    detail = [x[2 * i + 1] - ((even(i) + even(i + 1)) >> 1)
+              for i in range(half)]
+
+    def d_ext(i: int) -> int:
+        return detail[i] if i >= 0 else detail[0]
+
+    approx = [x[2 * i] + ((d_ext(i - 1) + detail[i] + 2) >> 2)
+              for i in range(half)]
+    return approx, detail
+
+
+def lifting53_inverse(approx: Sequence[int],
+                      detail: Sequence[int]) -> List[int]:
+    """Invert :func:`lifting53_forward` exactly (reversible transform)."""
+    s = [int(v) for v in approx]
+    d = [int(v) for v in detail]
+    if len(s) != len(d):
+        raise SimulationError(
+            f"approx/detail lengths differ: {len(s)} vs {len(d)}"
+        )
+    half = len(s)
+
+    def d_ext(i: int) -> int:
+        return d[i] if i >= 0 else d[0]
+
+    even = [s[i] - ((d_ext(i - 1) + d[i] + 2) >> 2) for i in range(half)]
+
+    def even_ext(i: int) -> int:
+        return even[i] if i < half else even[half - 1]
+
+    odd = [d[i] + ((even[i] + even_ext(i + 1)) >> 1) for i in range(half)]
+    out = []
+    for e, o in zip(even, odd):
+        out.append(e)
+        out.append(o)
+    return out
+
+
+def dwt53_2d(image: np.ndarray) -> np.ndarray:
+    """One 2-D 5/3 DWT level: rows then columns, subbands packed
+    ``[[LL, HL], [LH, HH]]`` (approximation top-left).
+    """
+    if image.ndim != 2:
+        raise SimulationError(f"expected a 2-D image, got {image.shape}")
+    rows, cols = image.shape
+    temp = np.zeros_like(image, dtype=np.int64)
+    for r in range(rows):
+        approx, detail = lifting53_forward(image[r, :])
+        temp[r, :cols // 2] = approx
+        temp[r, cols // 2:] = detail
+    out = np.zeros_like(temp)
+    for c in range(cols):
+        approx, detail = lifting53_forward(temp[:, c])
+        out[:rows // 2, c] = approx
+        out[rows // 2:, c] = detail
+    return out
+
+
+def idwt53_2d(coeffs: np.ndarray) -> np.ndarray:
+    """Invert :func:`dwt53_2d` exactly."""
+    if coeffs.ndim != 2:
+        raise SimulationError(f"expected a 2-D array, got {coeffs.shape}")
+    rows, cols = coeffs.shape
+    temp = np.zeros_like(coeffs, dtype=np.int64)
+    for c in range(cols):
+        column = lifting53_inverse(coeffs[:rows // 2, c],
+                                   coeffs[rows // 2:, c])
+        temp[:, c] = column
+    out = np.zeros_like(temp)
+    for r in range(rows):
+        row = lifting53_inverse(temp[r, :cols // 2], temp[r, cols // 2:])
+        out[r, :] = row
+    return out
+
+
+def dwt53_2d_multilevel(image: np.ndarray, levels: int) -> np.ndarray:
+    """A JPEG2000-style dyadic pyramid: re-transform the LL subband.
+
+    Level *k* transforms the top-left ``(H/2^k-1) x (W/2^k-1)`` corner of
+    the previous result.  Dimensions must stay even at every level.
+    """
+    if levels < 1:
+        raise SimulationError(f"levels must be >= 1, got {levels}")
+    out = np.asarray(image).astype(np.int64).copy()
+    rows, cols = out.shape
+    for _ in range(levels):
+        if rows % 2 or cols % 2 or rows < 2 or cols < 2:
+            raise SimulationError(
+                f"subband {rows}x{cols} cannot be split further"
+            )
+        out[:rows, :cols] = dwt53_2d(out[:rows, :cols])
+        rows //= 2
+        cols //= 2
+    return out
+
+
+def idwt53_2d_multilevel(coeffs: np.ndarray, levels: int) -> np.ndarray:
+    """Exact inverse of :func:`dwt53_2d_multilevel`."""
+    if levels < 1:
+        raise SimulationError(f"levels must be >= 1, got {levels}")
+    out = np.asarray(coeffs).astype(np.int64).copy()
+    rows, cols = out.shape
+    sizes = [(rows >> k, cols >> k) for k in range(levels)]
+    for r, c in reversed(sizes):
+        out[:r, :c] = idwt53_2d(out[:r, :c])
+    return out
+
+
+# ----------------------------------------------------------------------
+# FIR / IIR filters (the "RIF" / "RII" macro-operators)
+# ----------------------------------------------------------------------
+
+
+def fir(signal: Sequence[int], taps: Sequence[int]) -> List[int]:
+    """Transversal FIR: ``y[n] = sum_k taps[k] * x[n-k]`` (x[<0] = 0)."""
+    x = [int(v) for v in signal]
+    c = [int(v) for v in taps]
+    if not c:
+        raise SimulationError("FIR needs at least one tap")
+    out = []
+    for n in range(len(x)):
+        acc = 0
+        for k, coeff in enumerate(c):
+            if n - k >= 0:
+                acc += coeff * x[n - k]
+        out.append(acc)
+    return out
+
+
+def iir_first_order(signal: Sequence[int], b0: int, a1: int,
+                    shift: int = 0) -> List[int]:
+    """First-order recursive filter ``y[n] = b0*x[n] + a1*y[n-1] >> shift``.
+
+    The optional *shift* scales the feedback term (fixed-point gain < 1),
+    matching what the fabric computes with ``MADD`` + ``ASR``.
+    """
+    y_prev = 0
+    out = []
+    for v in signal:
+        y = b0 * int(v) + ((a1 * y_prev) >> shift if shift else a1 * y_prev)
+        out.append(y)
+        y_prev = y
+    return out
+
+
+def moving_average(signal: Sequence[int], window: int) -> List[int]:
+    """Simple boxcar filter (integer sum over the last *window* samples)."""
+    if window < 1:
+        raise SimulationError(f"window must be >= 1, got {window}")
+    return fir(signal, [1] * window)

@@ -1,0 +1,46 @@
+"""Analytical silicon model: gate inventories, technology nodes, area and
+frequency estimation, and the Fig. 7 SoC floor-plan budget.
+
+This replaces the paper's VHDL + Synopsys Design Compiler flow (see
+DESIGN.md §3 — substitutions).  Component gate/bit counts live in
+:mod:`repro.tech.gates`; per-node area/delay coefficients calibrated to
+the paper's Table 3 anchors live in :mod:`repro.tech.nodes`; the composed
+estimators live in :mod:`repro.tech.area` and :mod:`repro.tech.timing`.
+"""
+
+from repro.tech.nodes import TechNode, NODES, get_node
+from repro.tech.gates import (
+    DNODE_GATES,
+    SWITCH_GATES,
+    CONTROLLER_GATES,
+    dnode_gate_count,
+    switch_gate_count,
+    memory_bits,
+)
+from repro.tech.area import AreaReport, dnode_area_mm2, core_area_mm2
+from repro.tech.timing import (
+    estimated_frequency_hz,
+    mesh_frequency_hz,
+    crossbar_frequency_hz,
+)
+from repro.tech.soc import SocBudget, foreseeable_soc
+
+__all__ = [
+    "TechNode",
+    "NODES",
+    "get_node",
+    "DNODE_GATES",
+    "SWITCH_GATES",
+    "CONTROLLER_GATES",
+    "dnode_gate_count",
+    "switch_gate_count",
+    "memory_bits",
+    "AreaReport",
+    "dnode_area_mm2",
+    "core_area_mm2",
+    "estimated_frequency_hz",
+    "mesh_frequency_hz",
+    "crossbar_frequency_hz",
+    "SocBudget",
+    "foreseeable_soc",
+]

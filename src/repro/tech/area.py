@@ -1,0 +1,134 @@
+"""Area estimation for Dnodes and complete cores (Table 3 / Fig. 7).
+
+The estimator composes the gate/bit inventories of
+:mod:`repro.tech.gates` with a technology node's area coefficients.  The
+two Table 3 anchors reproduce exactly (the node coefficients were solved
+from them); larger rings are genuine model predictions — notably Ring-64
+at 0.18 um lands on the paper's 3.4 mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.ring import RingGeometry
+from repro.tech import gates
+from repro.tech.nodes import TechNode, get_node
+
+NodeLike = Union[str, TechNode]
+
+
+def _resolve(node: NodeLike) -> TechNode:
+    return get_node(node) if isinstance(node, str) else node
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Breakdown of a core's silicon area (mm^2)."""
+
+    node: str
+    geometry: RingGeometry
+    dnodes_mm2: float
+    switches_mm2: float
+    controller_mm2: float
+    memory_mm2: float
+    extra_mm2: float = 0.0
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.dnodes_mm2 + self.switches_mm2 + self.controller_mm2
+                + self.memory_mm2 + self.extra_mm2)
+
+    @property
+    def per_dnode_mm2(self) -> float:
+        return self.dnodes_mm2 / self.geometry.dnodes
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Non-Dnode fraction of the core — the scalability metric.
+
+        The paper's claim is that this *shrinks* as rings grow, because
+        the controller is shared and the switches scale only with the
+        layer count.
+        """
+        return 1.0 - self.dnodes_mm2 / self.total_mm2
+
+    def __str__(self) -> str:
+        return (
+            f"Ring-{self.geometry.dnodes} @ {self.node}: "
+            f"{self.total_mm2:.2f} mm^2 "
+            f"(dnodes {self.dnodes_mm2:.2f}, switches "
+            f"{self.switches_mm2:.2f}, controller {self.controller_mm2:.2f}, "
+            f"memory {self.memory_mm2:.2f}, extra {self.extra_mm2:.2f})"
+        )
+
+
+def dnode_area_mm2(node: NodeLike) -> float:
+    """Silicon area of a single Dnode (Table 3, first column)."""
+    tech = _resolve(node)
+    return tech.logic_area_um2(gates.dnode_gate_count()) / 1e6
+
+
+def core_area_mm2(geometry: RingGeometry, node: NodeLike,
+                  extra_memory_bits: int = 0,
+                  extra_logic_gates: int = 0) -> AreaReport:
+    """Full-core area for an arbitrary ring geometry.
+
+    Args:
+        geometry: ring shape.
+        node: technology node name or object.
+        extra_memory_bits: application-specific on-core memory (e.g. the
+            wavelet line buffers of Table 2's Ring-16).
+        extra_logic_gates: application-specific extra logic.
+    """
+    tech = _resolve(node)
+    dnodes_um2 = tech.logic_area_um2(
+        geometry.dnodes * gates.dnode_gate_count()
+    )
+    switches_um2 = tech.logic_area_um2(
+        geometry.layers * gates.switch_gate_count(geometry.width)
+    )
+    controller_um2 = tech.logic_area_um2(
+        gates.CONTROLLER_GATES + gates.DATA_CONTROLLER_GATES
+    )
+    memory_um2 = tech.memory_area_um2(
+        gates.memory_bits(geometry.dnodes, geometry.layers, geometry.width)
+    )
+    extra_um2 = (tech.memory_area_um2(extra_memory_bits)
+                 + tech.logic_area_um2(extra_logic_gates))
+    return AreaReport(
+        node=tech.name,
+        geometry=geometry,
+        dnodes_mm2=dnodes_um2 / 1e6,
+        switches_mm2=switches_um2 / 1e6,
+        controller_mm2=controller_um2 / 1e6,
+        memory_mm2=memory_um2 / 1e6,
+        extra_mm2=extra_um2 / 1e6,
+    )
+
+
+def ring_area_mm2(dnodes: int, node: NodeLike,
+                  width: int = 2,
+                  extra_memory_bits: int = 0) -> float:
+    """Total core area of a Ring-*dnodes* (convenience wrapper)."""
+    report = core_area_mm2(RingGeometry.ring(dnodes, width=width), node,
+                           extra_memory_bits=extra_memory_bits)
+    return report.total_mm2
+
+
+def synthesis_table(node_names: Optional[list] = None) -> list:
+    """Reproduce Table 3: rows of (node, Dnode mm^2, core mm^2, MHz)."""
+    from repro.tech.timing import estimated_frequency_hz
+
+    rows = []
+    for name in node_names or ["0.25um", "0.18um"]:
+        tech = get_node(name)
+        ring8 = core_area_mm2(RingGeometry.ring(8), tech)
+        rows.append((
+            name,
+            dnode_area_mm2(tech),
+            ring8.total_mm2,
+            estimated_frequency_hz(tech) / 1e6,
+        ))
+    return rows

@@ -1,0 +1,99 @@
+"""Gate and memory-bit inventories of every Systolic Ring component.
+
+Counts are NAND2-equivalent gates for logic and raw bits for memory
+structures.  They come from standard datapath sizing rules (ripple/carry-
+select adder ~= 30-60 gates per bit incl. control, array multiplier ~= n^2
+cells, flip-flop ~= 6 gate equivalents) and are the *fixed* half of the
+area model; the per-technology area coefficients in
+:mod:`repro.tech.nodes` are the calibrated half.
+"""
+
+from __future__ import annotations
+
+from repro.core.isa import MICROWORD_BITS
+from repro.core.local_controller import NUM_SLOTS
+from repro.core.regfile import NUM_REGISTERS
+from repro.errors import TechnologyError
+
+WORD_BITS = 16
+GATES_PER_FF = 6
+
+# -- Dnode datapath ----------------------------------------------------
+
+#: 16-bit ALU: adder/subtractor, logic unit, barrel shifter, result mux.
+ALU_GATES = 900
+#: Hardwired 16x16 array multiplier (the dominant Dnode component).
+MULTIPLIER_GATES = 2200
+#: 4x16-bit register file with master-slave registers.
+REGFILE_GATES = NUM_REGISTERS * WORD_BITS * GATES_PER_FF / 2 + 160
+#: Local control unit: 8 microword registers + LIMIT + counter + 8:1 mux.
+LOCAL_CTRL_GATES = (
+    NUM_SLOTS * MICROWORD_BITS * GATES_PER_FF / 4  # config regs (latch-based)
+    + 3 * GATES_PER_FF                              # 3-bit state counter
+    + MICROWORD_BITS * (NUM_SLOTS - 1)              # 8:1 mux tree
+    + 60                                            # limit compare / control
+)
+#: Microinstruction decode and operand steering.
+DECODE_GATES = 300
+
+DNODE_GATES = int(
+    ALU_GATES + MULTIPLIER_GATES + REGFILE_GATES + LOCAL_CTRL_GATES
+    + DECODE_GATES
+)
+
+# -- Switch ------------------------------------------------------------
+
+#: Mux sources selectable per downstream input port (up/rp/host/bus/zero).
+SWITCH_MUX_SOURCES = 12
+
+# -- Controller and data controller -------------------------------------
+
+#: The custom RISC configuration controller core (logic only).
+CONTROLLER_GATES = 12_000
+#: The specific input/output data controller.
+DATA_CONTROLLER_GATES = 2_000
+
+#: Controller program memory (words x 32 bits).
+PROGRAM_MEMORY_WORDS = 1024
+#: Controller data memory (words x 16 bits).
+DATA_MEMORY_WORDS = 512
+
+
+def dnode_gate_count() -> int:
+    """NAND2-equivalent gates of one Dnode."""
+    return DNODE_GATES
+
+
+def switch_gate_count(width: int) -> int:
+    """Gates of one inter-layer switch for a *width*-wide ring.
+
+    Two input ports per downstream Dnode, each a 16-bit
+    ``SWITCH_MUX_SOURCES``:1 mux, plus the feedback pipelines
+    (width lanes x 4 stages x 16-bit registers).
+    """
+    if width < 1:
+        raise TechnologyError(f"width must be >= 1, got {width}")
+    mux_gates = width * 2 * WORD_BITS * (SWITCH_MUX_SOURCES - 1)
+    pipeline_gates = width * 4 * WORD_BITS * GATES_PER_FF
+    return mux_gates + pipeline_gates + 100  # route-config registers
+
+
+SWITCH_GATES = switch_gate_count(2)
+
+
+def memory_bits(dnodes: int, layers: int, width: int) -> int:
+    """Total memory bits of a core: program, data and configuration.
+
+    Configuration storage per Dnode is one global microword plus the nine
+    local-control registers (8 microwords + LIMIT), i.e. the multi-level
+    scheme's whole per-Dnode state; per switch it is the route table.
+    """
+    if dnodes != layers * width:
+        raise TechnologyError(
+            f"dnodes={dnodes} inconsistent with {layers}x{width}"
+        )
+    program_bits = PROGRAM_MEMORY_WORDS * 32
+    data_bits = DATA_MEMORY_WORDS * WORD_BITS
+    per_dnode_cfg = MICROWORD_BITS * (1 + NUM_SLOTS) + 8
+    route_bits = layers * width * 2 * 16
+    return program_bits + data_bits + dnodes * per_dnode_cfg + route_bits

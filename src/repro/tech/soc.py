@@ -1,0 +1,93 @@
+"""Fig. 7: the "foreseeable SoC" floor-plan budget.
+
+The paper sketches a 4 mm x 3 mm (12 mm^2) 0.18 um SoC combining an ARM7
+CPU with a Ring-64 accelerator plus flash and converters.  This module
+budgets that die from the area model and published IP sizes, checking the
+combination actually fits — which is the figure's whole claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.ring import RingGeometry
+from repro.errors import TechnologyError
+from repro.tech.area import core_area_mm2
+
+#: ARM7TDMI hard-macro area at 0.18 um, as printed in Fig. 7.
+ARM7TDMI_MM2 = 0.54
+
+#: Fixed peripheral estimates for the sketched system (mm^2 at 0.18 um).
+DEFAULT_PERIPHERALS: Dict[str, float] = {
+    "flash": 2.0,
+    "sram": 1.2,
+    "can": 0.3,
+    "dac/adc": 0.5,
+    "pads/misc": 1.5,
+}
+
+
+@dataclass
+class SocBudget:
+    """A die budget: named blocks vs available area."""
+
+    die_width_mm: float
+    die_height_mm: float
+    blocks: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def die_mm2(self) -> float:
+        return self.die_width_mm * self.die_height_mm
+
+    @property
+    def used_mm2(self) -> float:
+        return sum(area for _, area in self.blocks)
+
+    @property
+    def free_mm2(self) -> float:
+        return self.die_mm2 - self.used_mm2
+
+    @property
+    def fits(self) -> bool:
+        return self.free_mm2 >= 0.0
+
+    def add(self, name: str, area_mm2: float) -> None:
+        if area_mm2 < 0:
+            raise TechnologyError(
+                f"block {name!r} has negative area {area_mm2}"
+            )
+        self.blocks.append((name, area_mm2))
+
+    def block_area(self, name: str) -> float:
+        for block_name, area in self.blocks:
+            if block_name == name:
+                return area
+        raise TechnologyError(f"no block named {name!r}")
+
+    def __str__(self) -> str:
+        lines = [
+            f"SoC {self.die_width_mm} x {self.die_height_mm} mm "
+            f"({self.die_mm2:.1f} mm^2)"
+        ]
+        for name, area in self.blocks:
+            lines.append(f"  {name:<14} {area:6.2f} mm^2")
+        lines.append(
+            f"  {'free':<14} {self.free_mm2:6.2f} mm^2 "
+            f"({'fits' if self.fits else 'OVERFLOWS'})"
+        )
+        return "\n".join(lines)
+
+
+def foreseeable_soc(ring_dnodes: int = 64, node: str = "0.18um",
+                    die_width_mm: float = 4.0,
+                    die_height_mm: float = 3.0,
+                    peripherals: Dict[str, float] = None) -> SocBudget:
+    """Build the Fig. 7 budget: ARM7 + Ring-N + peripherals on one die."""
+    budget = SocBudget(die_width_mm, die_height_mm)
+    budget.add("arm7tdmi", ARM7TDMI_MM2)
+    ring_report = core_area_mm2(RingGeometry.ring(ring_dnodes), node)
+    budget.add(f"ring-{ring_dnodes}", ring_report.total_mm2)
+    for name, area in (peripherals or DEFAULT_PERIPHERALS).items():
+        budget.add(name, area)
+    return budget

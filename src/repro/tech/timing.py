@@ -1,0 +1,77 @@
+"""Frequency estimation for the ring and for rival fabric topologies.
+
+The ring's frequency is *independent of its size*: every wire is
+nearest-neighbour (layer -> switch -> layer) and the feedback network is
+pipelined, so the critical path stays the Dnode-internal multiplier+adder
+chain.  That is the paper's core scalability argument (§4.2): mesh and
+crossbar fabrics accumulate die-crossing wires as they grow, and their
+achievable clock sags.  The comparative models below quantify exactly
+that for the A3 ablation:
+
+* mesh: longest routed net grows with the fabric's side length
+  (``sqrt(N)``) — "die-long interconnections cause hard timing problems";
+* crossbar: every output loads every input, wire and fan-out grow
+  linearly in N — "routing capabilities ... but area costly" and slow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.errors import TechnologyError
+from repro.tech.nodes import TechNode, get_node
+
+NodeLike = Union[str, TechNode]
+
+#: Wire delay added per Dnode-pitch of distance a signal must cross, in
+#: units of the node's FO4 delay (repeater-assisted global wiring).
+WIRE_FO4_PER_PITCH = 1.6
+
+#: Side length (in Dnode pitches) below which a mesh has no global nets.
+MESH_FREE_SIDE = 3.0
+
+
+def _resolve(node: NodeLike) -> TechNode:
+    return get_node(node) if isinstance(node, str) else node
+
+
+def estimated_frequency_hz(node: NodeLike, dnodes: int = 8) -> float:
+    """Achievable ring clock (Table 3, last column).
+
+    *dnodes* is accepted for interface symmetry with the rival-topology
+    models, but does not change the result: the ring's nearest-neighbour
+    wiring keeps the critical path local at any size.
+    """
+    if dnodes < 1:
+        raise TechnologyError(f"dnodes must be >= 1, got {dnodes}")
+    return _resolve(node).frequency_hz()
+
+
+def mesh_frequency_hz(node: NodeLike, dnodes: int) -> float:
+    """Achievable clock of a mesh fabric of the same Dnodes.
+
+    Long-distance routes cross ``side - MESH_FREE_SIDE`` pitches of the
+    ``sqrt(N) x sqrt(N)`` array; each pitch costs ``WIRE_FO4_PER_PITCH``
+    FO4 of repeated wire on top of the datapath critical path.
+    """
+    if dnodes < 1:
+        raise TechnologyError(f"dnodes must be >= 1, got {dnodes}")
+    tech = _resolve(node)
+    side = math.sqrt(dnodes)
+    crossing = max(side - MESH_FREE_SIDE, 0.0)
+    extra_ps = crossing * WIRE_FO4_PER_PITCH * tech.fo4_ps
+    return tech.frequency_hz(extra_wire_ps=extra_ps)
+
+
+def crossbar_frequency_hz(node: NodeLike, dnodes: int) -> float:
+    """Achievable clock of a full-crossbar fabric of the same Dnodes.
+
+    A central crossbar makes every source drive a wire spanning the whole
+    fabric and a fan-out of N: wire delay grows linearly in N.
+    """
+    if dnodes < 1:
+        raise TechnologyError(f"dnodes must be >= 1, got {dnodes}")
+    tech = _resolve(node)
+    extra_ps = dnodes * 0.5 * WIRE_FO4_PER_PITCH * tech.fo4_ps
+    return tech.frequency_hz(extra_wire_ps=extra_ps)

@@ -1,0 +1,8 @@
+"""Command-line tools: assembler, disassembler, object-code runner.
+
+Usage::
+
+    python -m repro.tools asm  program.asm -o program.obj --layers 8
+    python -m repro.tools dis  program.obj
+    python -m repro.tools run  program.obj --stream 0:1,2,3 --tap 1.0:8
+"""

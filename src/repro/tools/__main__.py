@@ -1,0 +1,131 @@
+"""CLI front end for the Systolic Ring toolchain.
+
+Subcommands:
+
+* ``asm``  — assemble two-level source to binary object code;
+* ``dis``  — disassemble object code to a readable listing;
+* ``run``  — load object code, stream data in, print tap outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import word
+from repro.asm import assemble, load_system
+from repro.asm.disasm import disassemble
+from repro.asm.objcode import ObjectCode
+from repro.errors import ReproError
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    source = Path(args.source).read_text()
+    obj = assemble(source, layers=args.layers, width=args.width)
+    out_path = Path(args.output or Path(args.source).with_suffix(".obj"))
+    out_path.write_bytes(obj.to_bytes())
+    print(f"{out_path}: {len(obj.program)} instructions, "
+          f"{len(obj.cfg_rom)} ROM entries, {len(obj.planes)} plane(s)")
+    return 0
+
+
+def _cmd_dis(args: argparse.Namespace) -> int:
+    obj = ObjectCode.from_bytes(Path(args.object).read_bytes())
+    sys.stdout.write(disassemble(obj))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.tools.report import generate_report
+
+    text = generate_report(seed=args.seed)
+    Path(args.output).write_text(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def _parse_stream(spec: str):
+    """``channel:v1,v2,...`` -> (channel, [values])."""
+    channel_text, _, values_text = spec.partition(":")
+    values = [word.from_signed(int(v, 0))
+              for v in values_text.split(",") if v]
+    return int(channel_text), values
+
+
+def _parse_tap(spec: str):
+    """``layer.pos[:count]`` -> (layer, pos, count)."""
+    place, _, count = spec.partition(":")
+    layer_text, _, pos_text = place.partition(".")
+    return int(layer_text), int(pos_text), int(count) if count else None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    obj = ObjectCode.from_bytes(Path(args.object).read_bytes())
+    system = load_system(obj)
+    total = 0
+    for spec in args.stream or []:
+        channel, values = _parse_stream(spec)
+        system.data.stream(channel, values)
+        total = max(total, len(values))
+    taps = []
+    for spec in args.tap or []:
+        layer, pos, count = _parse_tap(spec)
+        taps.append((spec, system.data.add_tap(layer, pos, limit=count)))
+    cycles = args.cycles if args.cycles is not None else total + 16
+    if system.controller is not None and args.cycles is None:
+        system.run_until_halt(max_cycles=args.max_cycles)
+    else:
+        system.run(cycles)
+    print(f"ran {system.cycles} cycles")
+    for spec, tap in taps:
+        values = [word.to_signed(v) for v in tap.samples]
+        print(f"tap {spec}: {values}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools",
+        description="Systolic Ring toolchain (assembler/disassembler/runner)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_asm = sub.add_parser("asm", help="assemble source to object code")
+    p_asm.add_argument("source")
+    p_asm.add_argument("-o", "--output")
+    p_asm.add_argument("--layers", type=int, default=4)
+    p_asm.add_argument("--width", type=int, default=2)
+    p_asm.set_defaults(func=_cmd_asm)
+
+    p_dis = sub.add_parser("dis", help="disassemble object code")
+    p_dis.add_argument("object")
+    p_dis.set_defaults(func=_cmd_dis)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate every paper table into one report")
+    p_report.add_argument("-o", "--output", default="REPORT.md")
+    p_report.add_argument("--seed", type=int, default=2002)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_run = sub.add_parser("run", help="execute object code")
+    p_run.add_argument("object")
+    p_run.add_argument("--stream", action="append",
+                       help="channel:v1,v2,... (repeatable)")
+    p_run.add_argument("--tap", action="append",
+                       help="layer.pos[:count] (repeatable)")
+    p_run.add_argument("--cycles", type=int, default=None,
+                       help="run exactly N cycles instead of to HALT")
+    p_run.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_run.set_defaults(func=_cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""One-command reproduction: regenerate every paper table as one report.
+
+``python -m repro.tools report [-o REPORT.md] [--seed N]`` runs the
+simulators and models behind each table/figure of the evaluation and
+writes a single markdown report with the reproduced numbers, ready to
+diff against EXPERIMENTS.md.  The heavyweight artefacts (Table 1's three
+engines) are fully simulated; everything else is near-instant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.analysis.mips import comparative_summary
+from repro.baselines.asic_me import asic_block_match
+from repro.baselines.mmx import mmx_block_match
+from repro.baselines.wavelet_asics import WAVELET_CIRCUITS
+from repro.core.ring import RingGeometry
+from repro.host.prototype import IMAGE_SIDE, reference_kernel, \
+    run_prototype
+from repro.kernels.motion_estimation import full_search_me
+from repro.kernels.reference import full_search
+from repro.kernels.wavelet import wavelet_cycle_model
+from repro.tech.area import core_area_mm2, ring_area_mm2, synthesis_table
+from repro.tech.power import core_power
+from repro.tech.soc import foreseeable_soc
+
+
+def _table1(rng) -> str:
+    block = rng.integers(0, 256, (8, 8))
+    area = rng.integers(0, 256, (24, 24))
+    _, _, golden = full_search(block, area)
+    ring = full_search_me(block, area)
+    mmx = mmx_block_match(block.astype(np.uint8), area.astype(np.uint8))
+    asic = asic_block_match(block, area)
+    exact = (np.array_equal(ring.sad_map, golden)
+             and np.array_equal(mmx.sad_map, golden))
+    body = render_table(
+        ["engine", "cycles", "vs Ring"],
+        [
+            ["ASIC [7]", asic.cycles, f"{asic.cycles / ring.cycles:.2f}x"],
+            ["Systolic Ring-16", ring.cycles, "1.00x"],
+            ["Intel MMX", mmx.cycles,
+             f"{mmx.cycles / ring.cycles:.2f}x"],
+        ])
+    note = ("all SAD maps bit-exact vs the golden search"
+            if exact else "MISMATCH DETECTED")
+    return (f"## Table 1 — motion estimation (8x8, 289 candidates)\n\n"
+            f"```\n{body}\n```\n\n*{note}; paper: Ring 'almost 8 times "
+            f"faster' than MMX.*\n")
+
+
+def _table2() -> str:
+    cycles = wavelet_cycle_model(768, 1024)
+    ring_area = ring_area_mm2(16, "0.18um",
+                              extra_memory_bits=2 * 1024 * 16)
+    rows = []
+    for c in WAVELET_CIRCUITS.values():
+        rows.append([c.name, c.technology, c.area_mm2,
+                     c.frequency_hz / 1e6,
+                     c.time_for_image_s(768, 1024) * 1e3])
+    rows.append(["Ring-16 (reproduced)", "0.18um", ring_area, 200.0,
+                 cycles / 200e6 * 1e3])
+    body = render_table(
+        ["circuit", "techno", "area mm^2", "MHz", "1024x768 ms"], rows)
+    return (f"## Table 2 — wavelet transform implementations\n\n"
+            f"```\n{body}\n```\n\n*{cycles / (768 * 1024):.2f} cycles per "
+            f"pixel on the paper's image; 12/16 Dnodes used (25% free).*\n")
+
+
+def _table3() -> str:
+    rows = [[name, dnode, core, mhz]
+            for name, dnode, core, mhz in synthesis_table()]
+    body = render_table(
+        ["techno", "D-node mm^2", "core mm^2", "est. MHz"], rows,
+        float_format="{:.2f}")
+    ring64 = core_area_mm2(RingGeometry.ring(64), "0.18um").total_mm2
+    return (f"## Table 3 — synthesis results\n\n```\n{body}\n```\n\n"
+            f"*Calibration anchors reproduced exactly; predicted Ring-64 "
+            f"= {ring64:.2f} mm^2 (Fig. 7 prints 3.4).*\n")
+
+
+def _sec51() -> str:
+    summary = comparative_summary()
+    body = render_table(
+        ["metric", "reproduced", "paper"],
+        [
+            ["Ring-8 peak MIPS", summary["ring_peak_mips"], "1600"],
+            ["Pentium II 450 MIPS", summary["cpu_mips"], "~400"],
+            ["theoretical bandwidth GB/s",
+             summary["theoretical_bw_gb_s"], "~3"],
+            ["PCI protocol GB/s", summary["pci_bw_gb_s"], "0.25"],
+        ])
+    return f"## SS5.1 — comparative results\n\n```\n{body}\n```\n"
+
+
+def _fig6(rng) -> str:
+    image = rng.integers(0, 256, (IMAGE_SIDE, IMAGE_SIDE))
+    rows = []
+    all_exact = True
+    for operation in ("invert", "threshold", "edge"):
+        result = run_prototype(image, operation)
+        exact = np.array_equal(result.framebuffer,
+                               reference_kernel(image, operation))
+        all_exact &= exact
+        rows.append([operation, result.cycles,
+                     "yes" if exact else "NO"])
+    body = render_table(["kernel", "fabric cycles", "bit-exact"], rows)
+    return (f"## Fig. 6 — APEX prototype (64x64 image through Ring-8)\n\n"
+            f"```\n{body}\n```\n")
+
+
+def _fig7() -> str:
+    budget = foreseeable_soc()
+    power = core_power(RingGeometry.ring(64), "0.18um")
+    return (f"## Fig. 7 — foreseeable SoC\n\n```\n{budget}\n```\n\n"
+            f"*Ring-64 dynamic power estimate: "
+            f"{power.total_w * 1e3:.0f} mW at 200 MHz (extension).*\n")
+
+
+def generate_report(seed: int = 2002) -> str:
+    """Build the full markdown reproduction report."""
+    rng = np.random.default_rng(seed)
+    sections = [
+        "# Reproduction report — Systolic Ring (DATE 2002)\n",
+        "Generated by `python -m repro.tools report`. Workload seed: "
+        f"{seed}.\n",
+        _table1(rng),
+        _table2(),
+        _table3(),
+        _sec51(),
+        _fig6(rng),
+        _fig7(),
+    ]
+    return "\n".join(sections)

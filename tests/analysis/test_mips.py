@@ -1,0 +1,76 @@
+"""Tests for the §5.1 raw-power arithmetic."""
+
+import pytest
+
+from repro.analysis.mips import (
+    comparative_summary,
+    measured_mips,
+    measured_mops,
+    ring_peak_mips,
+    ring_peak_mops,
+    theoretical_bandwidth_bytes_per_s,
+)
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import make_ring
+from repro.errors import SimulationError
+
+
+class TestPaperNumbers:
+    def test_ring8_is_1600_mips(self):
+        """§5.1: 'a maximal computing power of 1600 MIPS at the typical
+        200 MHz evaluated functional frequency'."""
+        assert ring_peak_mips(8) == 1600.0
+
+    def test_ring8_peak_mops(self):
+        assert ring_peak_mops(8) == 3200.0
+
+    def test_bandwidth_about_3gb(self):
+        assert theoretical_bandwidth_bytes_per_s(8) == pytest.approx(3.2e9)
+
+    def test_summary_keys(self):
+        summary = comparative_summary()
+        assert summary["ring_peak_mips"] == 1600.0
+        assert summary["cpu_mips"] == pytest.approx(400, rel=0.02)
+        assert summary["speedup_vs_cpu"] == pytest.approx(4.0, rel=0.02)
+        assert summary["theoretical_bw_gb_s"] == pytest.approx(3.2)
+        assert summary["pci_bw_gb_s"] == 0.25
+
+    def test_scales_linearly_with_dnodes(self):
+        assert ring_peak_mips(64) == 8 * ring_peak_mips(8)
+
+
+class TestMeasured:
+    def test_measured_mips_from_activity(self):
+        ring = make_ring(8)
+        # one busy Dnode out of eight
+        ring.config.write_microword(0, 0, MicroWord(
+            Opcode.ADD, Source.ZERO, Source.IMM, Dest.OUT, imm=1))
+        ring.run(10)
+        assert measured_mips(ring) == pytest.approx(200.0)
+
+    def test_measured_mops_counts_dual_ops(self):
+        ring = make_ring(8)
+        ring.config.write_microword(0, 0, MicroWord(
+            Opcode.MAC, Source.ZERO, Source.ZERO, Dest.R0))
+        ring.run(10)
+        assert measured_mops(ring) == pytest.approx(400.0)
+
+    def test_measured_requires_run(self):
+        with pytest.raises(SimulationError):
+            measured_mips(make_ring(8))
+
+    def test_fully_busy_ring_hits_peak(self):
+        ring = make_ring(8)
+        for dn in ring.all_dnodes():
+            ring.config.write_microword(dn.layer, dn.position, MicroWord(
+                Opcode.ADD, Source.ZERO, Source.IMM, Dest.OUT, imm=1))
+        ring.run(5)
+        assert measured_mips(ring) == pytest.approx(ring_peak_mips(8))
+
+
+class TestValidation:
+    def test_counts_positive(self):
+        with pytest.raises(SimulationError):
+            ring_peak_mips(0)
+        with pytest.raises(SimulationError):
+            theoretical_bandwidth_bytes_per_s(8, frequency_hz=0)

@@ -1,0 +1,44 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.errors import ReproError
+
+
+class TestRenderTable:
+    def test_basic_shape(self):
+        out = render_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "2"]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out and "3.14159" not in out
+
+    def test_custom_float_format(self):
+        out = render_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in out
+
+    def test_column_width_adapts(self):
+        out = render_table(["col"], [["a-very-long-cell"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("a-very-long-cell")
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ReproError):
+            render_table(["a", "b"], [[1]])
+
+    def test_needs_columns(self):
+        with pytest.raises(ReproError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

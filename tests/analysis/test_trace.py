@@ -1,0 +1,134 @@
+"""Tests for signal tracing and VCD export."""
+
+import pytest
+
+from repro.analysis.trace import Probe, SignalTrace, parse_vcd, write_vcd
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import make_ring
+from repro.core.switch import PortSource
+from repro.errors import SimulationError
+
+
+def counting_ring():
+    """D0.0 counts up by 1 every cycle (SELF + 1)."""
+    ring = make_ring(4)
+    ring.config.write_microword(0, 0, MicroWord(
+        Opcode.ADD, Source.SELF, Source.IMM, Dest.OUT, imm=1))
+    ring.config.write_switch_route(1, 0, 1, PortSource.up(0))
+    ring.config.write_microword(1, 0, MicroWord(
+        Opcode.MOV, Source.IN1, dst=Dest.OUT))
+    return ring
+
+
+class TestSignalTrace:
+    def test_captures_every_cycle(self):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.out(0, 0), Probe.out(1, 0)])
+        ring.run(5)
+        assert trace.cycles == 5
+        assert trace.samples["D0.0.out"] == [1, 2, 3, 4, 5]
+        assert trace.samples["D1.0.out"] == [0, 1, 2, 3, 4]
+
+    def test_register_probe(self):
+        ring = make_ring(4)
+        ring.config.write_microword(0, 0, MicroWord(
+            Opcode.MAC, Source.IMM, Source.IMM, Dest.R0, imm=2))
+        trace = SignalTrace(ring, [Probe.reg(0, 0, 0)])
+        ring.run(3)
+        assert trace.samples["D0.0.r0"] == [4, 8, 12]
+
+    def test_needs_probes(self):
+        with pytest.raises(SimulationError):
+            SignalTrace(make_ring(4), [])
+
+    def test_probe_address_validated(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            SignalTrace(make_ring(4), [Probe.out(9, 0)])
+
+    def test_detach_stops_recording(self):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.out(0, 0)])
+        ring.run(2)
+        trace.detach()
+        ring.run(2)
+        assert trace.cycles == 2
+
+    def test_render_ascii(self):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.out(0, 0)])
+        ring.run(3)
+        diagram = trace.render()
+        assert "D0.0.out" in diagram
+        assert "3" in diagram
+
+    def test_render_last_n(self):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.out(0, 0)])
+        ring.run(10)
+        diagram = trace.render(last=2)
+        assert "10" in diagram and " 5 " not in diagram
+
+    def test_render_before_run_rejected(self):
+        trace = SignalTrace(counting_ring(), [Probe.out(0, 0)])
+        with pytest.raises(SimulationError):
+            trace.render()
+
+
+class TestVcd:
+    def test_roundtrip(self, tmp_path):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.out(0, 0), Probe.out(1, 0)])
+        ring.run(4)
+        path = tmp_path / "run.vcd"
+        write_vcd(trace, path)
+        waves = parse_vcd(path)
+        assert [v for _, v in waves["D0_0_out"]] == [1, 2, 3, 4]
+        # D1.0 holds 0 initially: first dump at t=0 then changes
+        assert waves["D1_0_out"][0] == (0, 0)
+
+    def test_only_changes_dumped(self, tmp_path):
+        ring = make_ring(4)  # everything idle: constant zeros
+        trace = SignalTrace(ring, [Probe.out(0, 0)])
+        ring.run(5)
+        path = tmp_path / "idle.vcd"
+        write_vcd(trace, path)
+        waves = parse_vcd(path)
+        assert waves["D0_0_out"] == [(0, 0)]
+
+    def test_header_fields(self, tmp_path):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.out(0, 0)])
+        ring.run(1)
+        path = tmp_path / "h.vcd"
+        write_vcd(trace, path, timescale="10 ns", module="dut")
+        text = path.read_text()
+        assert "$timescale 10 ns $end" in text
+        assert "$scope module dut $end" in text
+        assert "$var wire 16" in text
+
+    def test_empty_trace_rejected(self, tmp_path):
+        trace = SignalTrace(counting_ring(), [Probe.out(0, 0)])
+        with pytest.raises(SimulationError):
+            write_vcd(trace, tmp_path / "x.vcd")
+
+
+class TestBusProbe:
+    def test_bus_probe_records_observed_values(self):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.bus()])
+        for value in (5, 9, 13):
+            trace.observe_bus(value)
+            ring.step(bus=value)
+        assert trace.samples["bus"] == [5, 9, 13]
+
+    def test_observe_bus_validates(self):
+        trace = SignalTrace(counting_ring(), [Probe.bus()])
+        with pytest.raises(ValueError):
+            trace.observe_bus(-1)
+
+    def test_bus_defaults_to_zero(self):
+        ring = counting_ring()
+        trace = SignalTrace(ring, [Probe.bus()])
+        ring.run(2)
+        assert trace.samples["bus"] == [0, 0]

@@ -1,0 +1,255 @@
+"""Tests for the full assembler (source -> ObjectCode)."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.controller.isa import ROp, decode_program
+from repro.core.isa import Opcode, decode as decode_microword
+from repro.core.switch import PortSource, decode_route
+from repro.errors import AssemblerError
+
+
+FULL = """
+.ring boot
+dnode 0.0 global
+    add out, in1, #5
+dnode 1.0 local
+    mul out, in1, #3
+    nop
+switch 0
+    route 0.1 <- host0
+switch 1
+    route 0.1 <- up0
+
+.ring alt
+dnode 0.0 global
+    sub out, in1, #5
+
+.risc
+        cfgword patch, add out, in1, #7
+        cfgroute tap, rp(2,1)
+start:  ldi r1, 10
+loop:   addi r1, r1, -1
+        bne r1, r2, loop
+        cfgdi d0.0, patch
+        cfgs s1.0.2, tap
+        cfgplane alt
+        halt
+"""
+
+
+class TestAssembleFull:
+    def setup_method(self):
+        self.obj = assemble(FULL, layers=4, width=2)
+
+    def test_geometry_recorded(self):
+        assert (self.obj.layers, self.obj.width) == (4, 2)
+
+    def test_two_planes_first_initial(self):
+        assert [p.name for p in self.obj.planes] == ["boot", "alt"]
+        assert self.obj.initial_plane == 0
+
+    def test_plane_contents(self):
+        boot = self.obj.planes[0]
+        assert len(boot.dnode_words) == 1
+        assert len(boot.local_slots) == 2
+        assert boot.local_limits == [(2, 2)]   # dnode 1.0 = flat 2
+        assert len(boot.routes) == 2
+        assert dict(boot.modes) == {0: 0, 2: 1}
+
+    def test_rom_deduplication(self):
+        # "add out, in1, #5" appears once even if referenced repeatedly
+        src = ".ring\ndnode 0.0\n    nop\ndnode 1.0\n    nop\n"
+        obj = assemble(src, layers=4)
+        nops = [e for e in obj.cfg_rom
+                if decode_microword(e).op is Opcode.NOP]
+        assert len(nops) == 1
+
+    def test_program_decodes(self):
+        program = decode_program(self.obj.program)
+        ops = [i.op for i in program]
+        assert ops == [ROp.LDI, ROp.ADDI, ROp.BNE, ROp.CFGDI, ROp.CFGS,
+                       ROp.CFGPLANE, ROp.HALT]
+
+    def test_branch_offset_resolved(self):
+        program = decode_program(self.obj.program)
+        bne = program[2]
+        assert bne.imm == -2  # back to addr 1 from addr 2: 1 - 2 - 1
+
+    def test_cfg_names_resolved(self):
+        program = decode_program(self.obj.program)
+        cfgdi = program[3]
+        patched = decode_microword(self.obj.cfg_rom[cfgdi.cfg])
+        assert patched.imm == 7
+        cfgs = program[4]
+        assert decode_route(self.obj.cfg_rom[cfgs.cfg]) == \
+            PortSource.rp(2, 1)
+
+    def test_plane_reference_resolved(self):
+        program = decode_program(self.obj.program)
+        assert program[5].plane == 1
+
+    def test_symbols_exported(self):
+        assert self.obj.symbols["start"] == 0
+        assert self.obj.symbols["loop"] == 1
+
+
+class TestErrors:
+    def test_dnode_outside_geometry(self):
+        with pytest.raises(AssemblerError, match="outside"):
+            assemble(".ring\ndnode 9.0\n    nop\n", layers=4)
+
+    def test_switch_outside_geometry(self):
+        with pytest.raises(AssemblerError, match="outside"):
+            assemble(".ring\nswitch 7\n    route 0.1 <- up0\n", layers=4)
+
+    def test_global_dnode_needs_one_op(self):
+        with pytest.raises(AssemblerError, match="exactly 1"):
+            assemble(".ring\ndnode 0.0 global\n    nop\n    nop\n",
+                     layers=4)
+
+    def test_local_program_slot_limit(self):
+        ops = "\n".join(["    nop"] * 9)
+        with pytest.raises(AssemblerError, match="1..8"):
+            assemble(f".ring\ndnode 0.0 local\n{ops}\n", layers=4)
+
+    def test_duplicate_plane_name(self):
+        with pytest.raises(AssemblerError, match="duplicate plane"):
+            assemble(".ring x\n.ring x\n", layers=4)
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate label"):
+            assemble(".risc\na: nop\na: nop\n", layers=4)
+
+    def test_duplicate_cfg_name(self):
+        src = ".risc\ncfgword x, nop\ncfgword x, nop\n"
+        with pytest.raises(AssemblerError, match="duplicate cfg"):
+            assemble(src, layers=4)
+
+    def test_undefined_cfg_name(self):
+        with pytest.raises(AssemblerError, match="undefined cfg"):
+            assemble(".risc\ncfgdi d0.0, ghost\n", layers=4)
+
+    def test_unknown_plane(self):
+        with pytest.raises(AssemblerError, match="unknown plane"):
+            assemble(".risc\ncfgplane ghost\n", layers=4)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".risc\nfrob r1\n", layers=4)
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="register"):
+            assemble(".risc\nldi r16, 0\n", layers=4)
+
+    def test_bad_dnode_ref(self):
+        with pytest.raises(AssemblerError, match="dnode"):
+            assemble(".risc\ncfgword w, nop\ncfgdi q0.0, w\n", layers=4)
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble(".risc\nldi r1\n", layers=4)
+
+    def test_cfgmode_operand(self):
+        with pytest.raises(AssemblerError, match="global|local"):
+            assemble(".risc\ncfgmode d0.0, sideways\n", layers=4)
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble(".risc\nnop\nfrob r1\n", layers=4)
+        except AssemblerError as exc:
+            assert exc.line == 3
+        else:
+            pytest.fail("expected AssemblerError")
+
+
+class TestMnemonics:
+    """Each mnemonic assembles to the right opcode/fields."""
+
+    def _one(self, text, layers=4):
+        obj = assemble(f".risc\n{text}\n", layers=layers)
+        return decode_program(obj.program)[0]
+
+    def test_nop_halt(self):
+        assert self._one("nop").op is ROp.NOP
+        assert self._one("halt").op is ROp.HALT
+
+    def test_alu_three_reg(self):
+        instr = self._one("add r1, r2, r3")
+        assert (instr.op, instr.rd, instr.rs, instr.rt) == \
+            (ROp.ADD, 1, 2, 3)
+
+    def test_memory_ops(self):
+        lw = self._one("lw r1, r2, 4")
+        assert (lw.op, lw.rd, lw.rs, lw.imm) == (ROp.LW, 1, 2, 4)
+        sw = self._one("sw r1, r2, -4")
+        assert (sw.op, sw.rt, sw.rs, sw.imm) == (ROp.SW, 1, 2, -4)
+
+    def test_io_ops(self):
+        assert self._one("busw r3").rs == 3
+        inw = self._one("inw r1, 2")
+        assert (inw.op, inw.rd, inw.ch) == (ROp.INW, 1, 2)
+        outw = self._one("outw 1, r4")
+        assert (outw.op, outw.ch, outw.rs) == (ROp.OUTW, 1, 4)
+
+    def test_waiti(self):
+        assert self._one("waiti 100").imm == 100
+
+    def test_jr(self):
+        assert self._one("jr r15").rs == 15
+
+    def test_cfgd_register_form(self):
+        instr = self._one("cfgd r1, r2")
+        assert (instr.op, instr.rs, instr.rt) == (ROp.CFGD, 1, 2)
+
+    def test_cfgl_with_slot(self):
+        obj = assemble(
+            ".risc\ncfgword w, nop\ncfgl d1.1, 3, w\n", layers=4)
+        instr = decode_program(obj.program)[0]
+        assert (instr.op, instr.dnode, instr.slot) == (ROp.CFGL, 3, 3)
+
+    def test_cfglim(self):
+        instr = self._one("cfglim d0.0, 4")
+        assert (instr.op, instr.limit) == (ROp.CFGLIM, 4)
+
+    def test_cfgmode(self):
+        instr = self._one("cfgmode d2.1, local")
+        assert (instr.op, instr.dnode, instr.mode) == (ROp.CFGMODE, 5, 1)
+
+    def test_bfe(self):
+        obj = assemble(".risc\nx: bfe 0, x\n", layers=4)
+        instr = decode_program(obj.program)[0]
+        assert (instr.op, instr.ch, instr.imm) == (ROp.BFE, 0, -1)
+
+
+class TestAdaptiveMnemonics:
+    """rdd / cfgimm / sar — the adaptive-reconfiguration extension."""
+
+    def _one(self, extra, text):
+        obj = assemble(f".risc\n{extra}\n{text}\nhalt\n", layers=4)
+        return decode_program(obj.program)
+
+    def test_rdd(self):
+        program = self._one("", "rdd r3, d1.1")
+        assert (program[0].op, program[0].rd, program[0].dnode) == \
+            (ROp.RDD, 3, 3)
+
+    def test_cfgimm(self):
+        program = self._one("cfgword t, mul out, bus, #0",
+                            "cfgimm d0.1, t, r5")
+        instr = program[0]
+        assert (instr.op, instr.dnode, instr.rs) == (ROp.CFGIMM, 1, 5)
+
+    def test_sar(self):
+        program = self._one("", "sar r1, r2, r3")
+        assert program[0].op == ROp.SAR
+
+    def test_disassembly_of_new_ops(self):
+        from repro.asm.disasm import disassemble
+
+        src = (".risc\ncfgword t, mul out, bus, #0\n"
+               "rdd r3, d1.1\ncfgimm d0.0, t, r2\nsar r1, r1, r2\nhalt\n")
+        listing = disassemble(assemble(src, layers=4))
+        assert "rdd r3, d1.1" in listing
+        assert "cfgimm d0.0, [mul out, bus, #0], r2" in listing
+        assert "sar r1, r1, r2" in listing

@@ -1,0 +1,85 @@
+"""Tests for the disassembler."""
+
+from repro.asm import assemble
+from repro.asm.disasm import disassemble, disassemble_plane
+
+SRC = """
+.ring boot
+dnode 0.0 global
+    add out, in1, #5
+dnode 1.0 local
+    mul out, in1, #3
+    nop
+switch 0
+    route 0.1 <- host0
+switch 1
+    route 0.1 <- rp(2,1)
+
+.risc
+        cfgword patch, shl out, in1, #1
+start:  ldi r1, 10
+loop:   addi r1, r1, -1
+        bne r1, r2, loop
+        cfgdi d0.0, patch
+        cfgplane boot
+        halt
+"""
+
+
+def _obj():
+    return assemble(SRC, layers=4, width=2)
+
+
+class TestPlaneListing:
+    def test_plane_reassembles_identically(self):
+        """The `.ring` part of a disassembly is valid assembler input
+        producing an equivalent plane."""
+        obj = _obj()
+        listing = disassemble_plane(obj, obj.planes[0])
+        reassembled = assemble(listing, layers=4, width=2)
+        a, b = obj.planes[0], reassembled.planes[0]
+        # resolve ROM indices to values for comparison
+        def resolved(plane, rom):
+            return {
+                "words": sorted((d, rom[r]) for d, r in plane.dnode_words),
+                "modes": sorted(plane.modes),
+                "slots": sorted((d, s, rom[r])
+                                for d, s, r in plane.local_slots),
+                "limits": sorted(plane.local_limits),
+                "routes": sorted((sw, p, q, rom[r])
+                                 for sw, p, q, r in plane.routes),
+            }
+        assert resolved(a, obj.cfg_rom) == resolved(b, reassembled.cfg_rom)
+
+    def test_local_program_rendered(self):
+        obj = _obj()
+        listing = disassemble_plane(obj, obj.planes[0])
+        assert "dnode 1.0 local" in listing
+        assert "mul out, in1, #3" in listing
+
+    def test_route_rendered(self):
+        listing = disassemble_plane(_obj(), _obj().planes[0])
+        assert "route 0.1 <- rp(2,1)" in listing
+
+
+class TestControllerListing:
+    def test_labels_resolved(self):
+        listing = disassemble(_obj())
+        assert "start:" in listing
+        assert "loop:" in listing
+        assert "bne r1, r2, loop" in listing
+
+    def test_config_operands_decoded_inline(self):
+        listing = disassemble(_obj())
+        assert "cfgdi d0.0, [shl out, in1, #1]" in listing
+        assert "cfgplane boot" in listing
+
+    def test_addresses_annotated(self):
+        listing = disassemble(_obj())
+        assert "; 0000" in listing
+
+    def test_every_instruction_rendered(self):
+        obj = _obj()
+        listing = disassemble(obj)
+        risc_lines = [ln for ln in listing.splitlines() if "; 0" in ln]
+        assert len(risc_lines) == len(obj.program)

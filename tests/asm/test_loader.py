@@ -1,0 +1,90 @@
+"""Tests for the loader: object code -> running system."""
+
+import pytest
+
+from repro.asm import assemble, load_system
+from repro.asm.loader import materialize_plane
+from repro.asm.objcode import ObjectCode
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Opcode
+from repro.core.switch import PortSource
+from repro.errors import LoaderError
+
+
+SRC = """
+.ring boot
+dnode 0.0 global
+    add out, in1, #5
+dnode 1.0 local
+    mul out, in1, #3
+switch 0
+    route 0.1 <- host0
+switch 1
+    route 0.1 <- up0
+
+.risc
+        waiti 6
+        halt
+"""
+
+
+class TestLoad:
+    def test_fabric_configured_from_initial_plane(self):
+        system = load_system(assemble(SRC, layers=4, width=2))
+        ring = system.ring
+        assert ring.dnode(0, 0).global_word.op is Opcode.ADD
+        assert ring.dnode(1, 0).mode is DnodeMode.LOCAL
+        assert ring.dnode(1, 0).local.current().op is Opcode.MUL
+        assert ring.switch(0).config.source_for(0, 1) == PortSource.host(0)
+
+    def test_controller_attached_when_program_present(self):
+        system = load_system(assemble(SRC, layers=4, width=2))
+        assert system.controller is not None
+        assert len(system.controller.program) == 2
+
+    def test_no_controller_for_ring_only_source(self):
+        src = ".ring\ndnode 0.0\n    nop\n"
+        system = load_system(assemble(src, layers=4, width=2))
+        assert system.controller is None
+
+    def test_end_to_end_execution(self):
+        system = load_system(assemble(SRC, layers=4, width=2))
+        system.data.stream(0, [10, 20, 30, 0, 0, 0])
+        tap = system.data.add_tap(1, 0)
+        system.run_until_halt()
+        # (10+5)*3 should appear after the two-stage latency
+        assert 45 in tap.samples
+
+    def test_strict_fifos_forwarded(self):
+        system = load_system(assemble(SRC, layers=4, width=2),
+                             strict_fifos=True)
+        assert system.ring.strict_fifos
+
+    def test_serialized_roundtrip_still_loads(self):
+        blob = assemble(SRC, layers=4, width=2).to_bytes()
+        system = load_system(ObjectCode.from_bytes(blob))
+        assert system.ring.dnode(0, 0).global_word.op is Opcode.ADD
+
+
+class TestValidation:
+    def test_bad_rom_reference(self):
+        obj = assemble(SRC, layers=4, width=2)
+        obj.planes[0].dnode_words[0] = (0, 999)
+        with pytest.raises(LoaderError, match="ROM"):
+            materialize_plane(obj, obj.planes[0])
+
+    def test_bad_initial_plane(self):
+        obj = assemble(SRC, layers=4, width=2)
+        obj.initial_plane = 5
+        with pytest.raises(LoaderError, match="initial plane"):
+            load_system(obj)
+
+
+class TestMaterializePlane:
+    def test_local_program_padding(self):
+        src = ".ring\ndnode 0.0 local\n    nop\n    nop\n    nop\n"
+        obj = assemble(src, layers=4, width=2)
+        plane = materialize_plane(obj, obj.planes[0])
+        slots, limit = plane.local_programs[(0, 0)]
+        assert limit == 3
+        assert len(slots) >= 3

@@ -1,0 +1,132 @@
+"""Tests for the Ring-level microinstruction assembler syntax."""
+
+import pytest
+from hypothesis import given
+
+from repro.asm.microasm import (
+    format_dnode_op,
+    format_route,
+    parse_dnode_op,
+    parse_route,
+)
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
+from repro.core.switch import PortSource
+from repro.errors import AssemblerError
+
+from tests.core.test_isa import microwords
+
+
+def _canonical(mw: MicroWord) -> MicroWord:
+    """Normalise fields the instruction does not consume.
+
+    The assembler text has nowhere to carry dead fields (an unused
+    immediate, a NOP's operands, a unary op's second source), so the
+    format->parse roundtrip is only expected to hold on canonical words.
+    """
+    if mw.op is Opcode.NOP:
+        return MicroWord(flags=mw.flags)
+    src_b = mw.src_b if mw.is_binary else Source.ZERO
+    uses_imm = (Source.IMM in (mw.src_a, src_b)
+                or mw.op in (Opcode.MADD, Opcode.MSUB))
+    return MicroWord(op=mw.op, src_a=mw.src_a, src_b=src_b, dst=mw.dst,
+                     flags=mw.flags, imm=mw.imm if uses_imm else 0)
+
+
+class TestParse:
+    def test_nop(self):
+        assert parse_dnode_op("nop") == MicroWord()
+
+    def test_binary_op(self):
+        mw = parse_dnode_op("add out, in1, in2")
+        assert mw == MicroWord(Opcode.ADD, Source.IN1, Source.IN2, Dest.OUT)
+
+    def test_unary_op(self):
+        mw = parse_dnode_op("abs r2, in1")
+        assert mw == MicroWord(Opcode.ABS, Source.IN1, dst=Dest.R2)
+
+    def test_immediate_operand(self):
+        mw = parse_dnode_op("add out, in1, #-5")
+        assert mw.src_b is Source.IMM
+        assert mw.imm == 0xFFFB
+
+    def test_hex_immediate(self):
+        mw = parse_dnode_op("mov out, #0x1F")
+        assert mw.imm == 0x1F
+
+    def test_rp_operand(self):
+        mw = parse_dnode_op("mov out, rp(2,1)")
+        assert mw.src_a == Source.rp(2, 1)
+
+    def test_madd_coefficient(self):
+        mw = parse_dnode_op("madd out, in1, rp(1,1), #7")
+        assert mw.op is Opcode.MADD
+        assert (mw.src_a, mw.src_b) == (Source.IN1, Source.rp(1, 1))
+        assert mw.imm == 7
+
+    def test_flags(self):
+        mw = parse_dnode_op("absdiff r1, fifo1, fifo2 [pop1,pop2]")
+        assert mw.flags == Flag.POP_FIFO1 | Flag.POP_FIFO2
+
+    def test_wout_flag(self):
+        mw = parse_dnode_op("mac r0, in1, in2 [wout]")
+        assert mw.flags & Flag.WRITE_OUT
+
+    def test_case_insensitive(self):
+        assert parse_dnode_op("ADD OUT, IN1, IN2") == \
+            parse_dnode_op("add out, in1, in2")
+
+    def test_self_and_zero_sources(self):
+        mw = parse_dnode_op("add out, self, zero")
+        assert (mw.src_a, mw.src_b) == (Source.SELF, Source.ZERO)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text,fragment", [
+        ("", "empty"),
+        ("frobnicate out, in1", "unknown Dnode opcode"),
+        ("add", "destination"),
+        ("add outt, in1, in2", "unknown destination"),
+        ("add out, in9, in2", "unknown operand source"),
+        ("add out, in1", "expects 2"),
+        ("abs out, in1, in2", "expects 1"),
+        ("nop out", "no operands"),
+        ("add out, in1, in2 [zing]", "unknown flag"),
+        ("mac out, in1, in2", "accumulates"),
+    ])
+    def test_error_messages(self, text, fragment):
+        with pytest.raises(AssemblerError, match=fragment):
+            parse_dnode_op(text)
+
+    def test_line_number_in_error(self):
+        with pytest.raises(AssemblerError, match="line 12"):
+            parse_dnode_op("bogus out, in1", line=12)
+
+
+class TestRoundTrip:
+    @given(microwords().map(_canonical))
+    def test_format_parse_identity(self, mw):
+        assert parse_dnode_op(format_dnode_op(mw)) == mw
+
+
+class TestRoutes:
+    @pytest.mark.parametrize("text,expected", [
+        ("up0", PortSource.up(0)),
+        ("up1", PortSource.up(1)),
+        ("host3", PortSource.host(3)),
+        ("rp(4,2)", PortSource.rp(4, 2)),
+        ("bus", PortSource.bus()),
+        ("zero", PortSource.zero()),
+    ])
+    def test_parse(self, text, expected):
+        assert parse_route(text) == expected
+
+    @pytest.mark.parametrize("source", [
+        PortSource.up(0), PortSource.host(2), PortSource.rp(2, 1),
+        PortSource.bus(), PortSource.zero(),
+    ])
+    def test_roundtrip(self, source):
+        assert parse_route(format_route(source)) == source
+
+    def test_unknown_route(self):
+        with pytest.raises(AssemblerError, match="unknown route"):
+            parse_route("sideways3")

@@ -1,0 +1,92 @@
+"""Tests for the binary object-code container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.asm.objcode import ObjectCode, PlaneSpec
+from repro.errors import LoaderError
+
+
+def sample_object():
+    plane = PlaneSpec(
+        name="boot",
+        dnode_words=[(0, 0), (3, 1)],
+        modes=[(0, 0), (3, 1)],
+        local_slots=[(3, 0, 1), (3, 1, 2)],
+        local_limits=[(3, 2)],
+        routes=[(0, 0, 1, 3)],
+    )
+    return ObjectCode(
+        layers=4, width=2,
+        cfg_rom=[0x12345, 0xABCDE, 0x00001, 0x2001],
+        program=[0xDEADBEEF, 0x04000000],
+        planes=[plane],
+        initial_plane=0,
+        symbols={"start": 0, "loop": 1},
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        obj = sample_object()
+        back = ObjectCode.from_bytes(obj.to_bytes())
+        assert back.layers == obj.layers
+        assert back.width == obj.width
+        assert back.cfg_rom == obj.cfg_rom
+        assert back.program == obj.program
+        assert back.initial_plane == obj.initial_plane
+        assert back.symbols == obj.symbols
+        plane = back.planes[0]
+        assert plane.name == "boot"
+        assert [tuple(t) for t in plane.dnode_words] == [(0, 0), (3, 1)]
+        assert [tuple(t) for t in plane.local_slots] == [(3, 0, 1),
+                                                         (3, 1, 2)]
+        assert [tuple(t) for t in plane.routes] == [(0, 0, 1, 3)]
+
+    def test_no_initial_plane(self):
+        obj = sample_object()
+        obj.initial_plane = None
+        assert ObjectCode.from_bytes(obj.to_bytes()).initial_plane is None
+
+    def test_empty_object(self):
+        obj = ObjectCode(layers=2, width=1)
+        back = ObjectCode.from_bytes(obj.to_bytes())
+        assert back.cfg_rom == [] and back.planes == []
+
+    def test_bad_magic(self):
+        with pytest.raises(LoaderError, match="magic"):
+            ObjectCode.from_bytes(b"NOPE" + b"\x00" * 20)
+
+    def test_truncated(self):
+        blob = sample_object().to_bytes()
+        with pytest.raises(LoaderError, match="truncated"):
+            ObjectCode.from_bytes(blob[:10])
+
+    def test_bad_version(self):
+        blob = bytearray(sample_object().to_bytes())
+        blob[4] = 99
+        with pytest.raises(LoaderError, match="version"):
+            ObjectCode.from_bytes(bytes(blob))
+
+    def test_rom_entry_width_checked(self):
+        obj = ObjectCode(layers=2, width=1, cfg_rom=[1 << 40])
+        with pytest.raises(LoaderError, match="40 bits"):
+            obj.to_bytes()
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 40) - 1),
+                    max_size=20),
+           st.lists(st.integers(min_value=0, max_value=(1 << 32) - 1),
+                    max_size=20))
+    def test_rom_and_program_roundtrip(self, rom, program):
+        obj = ObjectCode(layers=3, width=2, cfg_rom=rom, program=program)
+        back = ObjectCode.from_bytes(obj.to_bytes())
+        assert back.cfg_rom == rom and back.program == program
+
+
+class TestPlaneLookup:
+    def test_by_name(self):
+        assert sample_object().plane_index("boot") == 0
+
+    def test_missing_name(self):
+        with pytest.raises(LoaderError, match="no plane"):
+            sample_object().plane_index("ghost")

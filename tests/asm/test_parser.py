@@ -1,0 +1,116 @@
+"""Tests for the two-level source parser (structure only)."""
+
+import pytest
+
+from repro.asm.parser import parse_source
+from repro.errors import AssemblerError
+
+
+class TestSections:
+    def test_empty_source(self):
+        src = parse_source("")
+        assert src.ring_sections == []
+        assert src.risc_statements == []
+
+    def test_comment_only(self):
+        src = parse_source("; just a comment\n   ; another\n")
+        assert src.ring_sections == []
+
+    def test_named_ring_section(self):
+        src = parse_source(".ring boot\n")
+        assert src.ring_sections[0].name == "boot"
+
+    def test_default_ring_name(self):
+        src = parse_source(".ring\n.ring\n")
+        names = [s.name for s in src.ring_sections]
+        assert names == ["plane0", "plane1"]
+
+    def test_statement_before_section_rejected(self):
+        with pytest.raises(AssemblerError, match="before any"):
+            parse_source("ldi r1, 5\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            parse_source(".rings\n")
+
+
+class TestRingSection:
+    SRC = """
+.ring main
+dnode 0.0 global
+    add out, in1, in2
+dnode 1.1 local
+    mov r1, fifo1 [pop1]
+    mac r0, r1, r1
+switch 0
+    route 0.1 <- host0
+    route 1.2 <- rp(2,1)
+"""
+
+    def test_dnode_blocks(self):
+        section = parse_source(self.SRC).ring_sections[0]
+        assert len(section.dnodes) == 2
+        first, second = section.dnodes
+        assert (first.layer, first.position, first.mode) == (0, 0, "global")
+        assert first.ops == ["add out, in1, in2"]
+        assert (second.layer, second.position, second.mode) == (1, 1,
+                                                                "local")
+        assert len(second.ops) == 2
+
+    def test_default_mode_is_global(self):
+        src = parse_source(".ring\ndnode 0.0\n    nop\n")
+        assert src.ring_sections[0].dnodes[0].mode == "global"
+
+    def test_routes_attach_to_switch_header(self):
+        section = parse_source(self.SRC).ring_sections[0]
+        real = [r for r in section.routes if r.position >= 0]
+        assert [(r.switch, r.position, r.port) for r in real] == \
+            [(0, 0, 1), (0, 1, 2)]
+        assert real[1].source_text == "rp(2,1)"
+
+    def test_route_without_switch_header(self):
+        with pytest.raises(AssemblerError, match="switch"):
+            parse_source(".ring\nroute 0.1 <- host0\n")
+
+    def test_junk_statement_rejected(self):
+        with pytest.raises(AssemblerError, match="unexpected"):
+            parse_source(".ring\nswizzle 1\n")
+
+    def test_op_lines_recorded(self):
+        section = parse_source(self.SRC).ring_sections[0]
+        assert len(section.dnodes[1].op_lines) == 2
+
+
+class TestRiscSection:
+    def test_labels(self):
+        src = parse_source(".risc\nstart: ldi r1, 5\n  jmp start\n")
+        stmts = src.risc_statements
+        assert stmts[0].labels == ["start"]
+        assert stmts[0].mnemonic == "ldi"
+        assert stmts[1].operands == ["start"]
+
+    def test_label_on_own_line(self):
+        src = parse_source(".risc\nloop:\n  nop\n")
+        assert src.risc_statements[0].labels == ["loop"]
+
+    def test_stacked_labels(self):
+        src = parse_source(".risc\na: b: nop\n")
+        assert src.risc_statements[0].labels == ["a", "b"]
+
+    def test_dangling_label_rejected(self):
+        with pytest.raises(AssemblerError, match="dangling"):
+            parse_source(".risc\nend:\n")
+
+    def test_operand_split_preserves_parens(self):
+        src = parse_source(".risc\ncfgword x, mov out, rp(1,2)\n")
+        stmt = src.risc_statements[0]
+        assert "rp(1,2)" in stmt.operands
+
+    def test_comments_stripped(self):
+        src = parse_source(".risc\nnop ; does nothing\n")
+        assert src.risc_statements[0].mnemonic == "nop"
+        assert src.risc_statements[0].operands == []
+
+    def test_line_numbers(self):
+        src = parse_source("\n\n.risc\nnop\n")
+        assert src.risc_statements[0].line == 4

@@ -1,0 +1,45 @@
+"""Tests for the dedicated block-matching ASIC model ([7], Table 1)."""
+
+import numpy as np
+
+from repro.baselines.asic_me import AsicModel, asic_block_match
+from repro.kernels.reference import full_search
+
+
+class TestCycleModel:
+    def test_one_candidate_per_cycle_dominates(self):
+        model = AsicModel()
+        c100 = model.match_cycles(100)
+        c200 = model.match_cycles(200)
+        assert c200 - c100 == 100
+
+    def test_fill_is_small_constant(self):
+        model = AsicModel()
+        fill = model.fill_cycles(8, 8)
+        assert 0 < fill < 64
+
+    def test_paper_workload(self):
+        model = AsicModel()
+        cycles = model.match_cycles(289)
+        assert 289 < cycles < 400
+
+
+class TestFunctional:
+    def test_exact_search(self, rng):
+        ref = rng.integers(0, 256, (8, 8))
+        area = rng.integers(0, 256, (16, 16))
+        expected_best, expected_sad, expected_map = full_search(ref, area)
+        result = asic_block_match(ref, area)
+        assert np.array_equal(result.sad_map, expected_map)
+        assert result.best == expected_best
+        assert result.best_sad == expected_sad
+
+    def test_much_faster_than_ring(self, rng):
+        """Table 1's shape: 'The ASIC implementation is much faster
+        than our solution at the price of flexibility'."""
+        from repro.kernels.motion_estimation import cycle_model
+
+        ref = rng.integers(0, 256, (8, 8))
+        area = rng.integers(0, 256, (24, 24))
+        result = asic_block_match(ref, area)
+        assert cycle_model() / result.cycles > 4

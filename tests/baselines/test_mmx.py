@@ -1,0 +1,141 @@
+"""Tests for the MMX instruction-level baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mmx import MmxInstr, MmxMachine, mmx_block_match
+from repro.kernels.reference import full_search
+from repro.errors import SimulationError
+
+
+class TestMmxOps:
+    def setup_method(self):
+        self.m = MmxMachine()
+
+    def test_movq_reg_to_reg(self):
+        self.m.mm["mm1"] = 0x1122334455667788
+        self.m.execute(MmxInstr("movq", "mm0", "mm1"))
+        assert self.m.mm["mm0"] == 0x1122334455667788
+
+    def test_movq_load_little_endian(self):
+        self.m.memory[0:8] = np.arange(1, 9, dtype=np.uint8)
+        self.m.execute(MmxInstr("movq", "mm0", address=0, is_mem=True))
+        assert self.m.mm["mm0"] == 0x0807060504030201
+
+    def test_psubusb_saturates_at_zero(self):
+        self.m.mm["mm0"] = 0x05_10  # bytes [0x10, 0x05, 0...]
+        self.m.mm["mm1"] = 0x10_05
+        self.m.execute(MmxInstr("psubusb", "mm0", "mm1"))
+        # 0x10-0x05=0x0B; 0x05-0x10 saturates to 0
+        assert self.m.mm["mm0"] == 0x00_0B
+
+    def test_psubusb_por_computes_absolute_difference(self):
+        a, b = 0x30_10, 0x10_40
+        self.m.mm["mm0"] = a
+        self.m.mm["mm1"] = b
+        self.m.mm["mm2"] = a
+        self.m.execute(MmxInstr("psubusb", "mm0", "mm1"))
+        self.m.execute(MmxInstr("psubusb", "mm1", "mm2"))
+        self.m.execute(MmxInstr("por", "mm0", "mm1"))
+        assert self.m.mm["mm0"] == 0x20_30  # |0x10-0x40|,|0x30-0x10|
+
+    def test_punpcklbw_zero_extends(self):
+        self.m.mm["mm0"] = 0x0403020104030201
+        self.m.mm["mm7"] = 0
+        self.m.execute(MmxInstr("punpcklbw", "mm0", "mm7"))
+        assert self.m.mm["mm0"] == 0x0004000300020001
+
+    def test_punpckhbw_takes_high_bytes(self):
+        self.m.mm["mm0"] = 0x08070605_04030201
+        self.m.mm["mm7"] = 0
+        self.m.execute(MmxInstr("punpckhbw", "mm0", "mm7"))
+        assert self.m.mm["mm0"] == 0x0008000700060005
+
+    def test_paddw_wraps_lanes(self):
+        self.m.mm["mm0"] = 0xFFFF
+        self.m.mm["mm1"] = 0x0002
+        self.m.execute(MmxInstr("paddw", "mm0", "mm1"))
+        assert self.m.mm["mm0"] == 0x0001
+
+    def test_psrlq(self):
+        self.m.mm["mm0"] = 0x12345678_9ABCDEF0
+        self.m.execute(MmxInstr("psrlq", "mm0", imm=32))
+        assert self.m.mm["mm0"] == 0x12345678
+
+    def test_movd(self):
+        self.m.mm["mm5"] = 0xAABBCCDD_11223344
+        self.m.execute(MmxInstr("movd", "eax", "mm5"))
+        assert self.m.scalar["eax"] == 0x11223344
+
+    def test_unknown_instruction(self):
+        with pytest.raises(SimulationError):
+            self.m.execute(MmxInstr("psadbw", "mm0", "mm1"))  # SSE, not MMX
+
+    def test_load_bounds(self):
+        with pytest.raises(SimulationError):
+            self.m.execute(MmxInstr("movq", "mm0",
+                                    address=len(self.m.memory) - 4,
+                                    is_mem=True))
+
+
+class TestPairing:
+    def test_independent_instructions_pair(self):
+        m = MmxMachine()
+        m.run([MmxInstr("pxor", "mm0", "mm0"),
+               MmxInstr("pxor", "mm1", "mm1")])
+        assert m.cycles == 1
+
+    def test_dependent_instructions_serialize(self):
+        m = MmxMachine()
+        m.run([MmxInstr("pxor", "mm0", "mm0"),
+               MmxInstr("por", "mm1", "mm0")])  # reads mm0
+        assert m.cycles == 2
+
+    def test_two_loads_do_not_pair(self):
+        m = MmxMachine()
+        m.run([MmxInstr("movq", "mm0", address=0, is_mem=True),
+               MmxInstr("movq", "mm1", address=8, is_mem=True)])
+        assert m.cycles == 2
+
+    def test_nonpairable_blocks(self):
+        m = MmxMachine()
+        m.run([MmxInstr("jnz", pairable=False),
+               MmxInstr("pxor", "mm0", "mm0")])
+        assert m.cycles == 2
+
+    def test_unaligned_load_penalty(self):
+        m = MmxMachine(unaligned_penalty=2)
+        m.run([MmxInstr("movq", "mm0", address=3, is_mem=True)])
+        assert m.cycles == 3
+
+
+class TestBlockMatch:
+    def test_bit_exact_vs_reference(self, rng):
+        ref = rng.integers(0, 256, (8, 8)).astype(np.uint8)
+        area = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+        expected_best, expected_sad, expected_map = full_search(ref, area)
+        result = mmx_block_match(ref, area)
+        assert np.array_equal(result.sad_map, expected_map)
+        assert result.best == expected_best
+
+    def test_paper_workload_ratio(self, rng):
+        """Table 1's shape: the Ring is 'almost 8 times faster' than
+        the MMX routine on the 8x8 / +/-8 search."""
+        from repro.kernels.motion_estimation import cycle_model
+
+        ref = rng.integers(0, 256, (8, 8)).astype(np.uint8)
+        area = rng.integers(0, 256, (24, 24)).astype(np.uint8)
+        result = mmx_block_match(ref, area)
+        ratio = result.cycles / cycle_model()
+        assert 6.0 <= ratio <= 10.0
+
+    def test_block_width_must_be_8(self):
+        with pytest.raises(SimulationError, match="8-pixel"):
+            mmx_block_match(np.zeros((4, 4), dtype=np.uint8),
+                            np.zeros((8, 8), dtype=np.uint8))
+
+    def test_instruction_count_positive(self, rng):
+        ref = rng.integers(0, 256, (8, 8)).astype(np.uint8)
+        area = rng.integers(0, 256, (12, 12)).astype(np.uint8)
+        result = mmx_block_match(ref, area)
+        assert result.instructions > result.cycles  # pairing happened

@@ -1,0 +1,31 @@
+"""Tests for the Pentium-II-class scalar CPU model (§5.1)."""
+
+import pytest
+
+from repro.baselines.scalar_cpu import PENTIUM_II_450, ScalarCpu
+from repro.errors import SimulationError
+
+
+class TestPentiumII:
+    def test_paper_mips_figure(self):
+        """§5.1: 'the 400 MIPS of a Pentium II 450 MHz processor'."""
+        assert PENTIUM_II_450.sustained_mips == pytest.approx(400, rel=0.02)
+
+    def test_ring8_is_4x_faster(self):
+        from repro.analysis.mips import ring_peak_mips
+        ratio = ring_peak_mips(8) / PENTIUM_II_450.sustained_mips
+        assert ratio == pytest.approx(4.0, rel=0.02)
+
+
+class TestModel:
+    def test_time_for_ops(self):
+        cpu = ScalarCpu("x", 100e6, 1.0)
+        assert cpu.time_for_ops(100_000_000) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ScalarCpu("x", 0, 1.0)
+        with pytest.raises(SimulationError):
+            ScalarCpu("x", 1e6, 0)
+        with pytest.raises(SimulationError):
+            PENTIUM_II_450.time_for_ops(-1)

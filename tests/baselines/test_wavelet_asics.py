@@ -1,0 +1,46 @@
+"""Tests for the Table 2 wavelet-ASIC characteristic models."""
+
+import pytest
+
+from repro.baselines.wavelet_asics import WAVELET_CIRCUITS, WaveletCircuit
+from repro.errors import SimulationError
+
+
+class TestPublishedCharacteristics:
+    def test_navarro_row(self):
+        c = WAVELET_CIRCUITS["navarro"]
+        assert c.technology == "0.7um"
+        assert c.area_mm2 == 48.4
+        assert c.frequency_hz == 50e6
+        assert c.memory_bits == (768 + 30) * 16
+
+    def test_diou_row(self):
+        c = WAVELET_CIRCUITS["diou"]
+        assert c.technology == "0.25um"
+        assert c.area_mm2 == 2.2
+        assert c.frequency_hz == 150e6
+        assert c.memory_bits == 897 * 8
+
+    def test_neither_is_flexible(self):
+        assert not any(c.flexible for c in WAVELET_CIRCUITS.values())
+
+
+class TestRates:
+    def test_one_pixel_per_cycle(self):
+        for c in WAVELET_CIRCUITS.values():
+            assert c.pixel_rate_hz() == c.frequency_hz
+
+    def test_image_time(self):
+        c = WaveletCircuit("x", "t", 1.0, 100e6, 0)
+        assert c.time_for_image_s(1000, 1000) == pytest.approx(0.01)
+
+    def test_image_validated(self):
+        with pytest.raises(SimulationError):
+            WAVELET_CIRCUITS["diou"].time_for_image_s(0, 10)
+
+    def test_ring_outpaces_both_at_200mhz(self):
+        """Table 2's shape: the Ring's 200 MHz x 1 px/cycle beats both
+        dedicated circuits' throughput while staying programmable."""
+        ring_rate = 200e6
+        assert all(ring_rate > c.pixel_rate_hz()
+                   for c in WAVELET_CIRCUITS.values())

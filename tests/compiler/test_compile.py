@@ -1,0 +1,260 @@
+"""Tests for scheduling + code generation: fabric output == golden."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import DataflowGraph, compile_graph
+from repro.compiler.graph import CompileError
+from repro.compiler.schedule import schedule
+from repro.core.ring import RingGeometry
+
+SIG = [5, 7, 9, -4, 11, 0, 3, 8, -2, 6]
+
+
+def run_both(g, streams):
+    """Run golden evaluation and fabric execution; return both."""
+    prog = compile_graph(g)
+    if not isinstance(streams, dict):
+        streams = {0: streams}
+    return g.evaluate(streams), prog.run(streams), prog
+
+
+class TestBasicPrograms:
+    def test_scale_and_offset(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("add", g.op("mul", x, g.const(3)), g.const(7)))
+        golden, fabric, prog = run_both(g, SIG)
+        assert fabric[y] == golden[y]
+        assert prog.latency == 2
+
+    def test_unary_chain(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("abs", g.op("neg", x)))
+        golden, fabric, _ = run_both(g, SIG)
+        assert fabric[y] == golden[y]
+
+    def test_two_input_streams(self):
+        g = DataflowGraph()
+        a, b = g.input(0), g.input(1)
+        y = g.output(g.op("absdiff", a, b))
+        streams = {0: SIG, 1: list(reversed(SIG))}
+        golden, fabric, _ = run_both(g, streams)
+        assert fabric[y] == golden[y]
+
+    def test_multiple_outputs(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        y1 = g.output(g.op("shl", x, g.const(1)))
+        y2 = g.output(g.op("asr", x, g.const(1)))
+        golden, fabric, _ = run_both(g, SIG)
+        assert fabric[y1] == golden[y1]
+        assert fabric[y2] == golden[y2]
+
+
+class TestDelays:
+    def test_first_difference(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("sub", x, g.delay(x, 1)))
+        golden, fabric, _ = run_both(g, SIG)
+        assert fabric[y] == golden[y]
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_all_pipeline_depths(self, d):
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("add", x, g.delay(x, d)))
+        golden, fabric, _ = run_both(g, SIG)
+        assert fabric[y] == golden[y]
+
+    def test_delay_of_interior_node(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        sq = g.op("mul", x, x)
+        y = g.output(g.op("sub", sq, g.delay(sq, 2)))
+        golden, fabric, _ = run_both(g, SIG)
+        assert fabric[y] == golden[y]
+
+    def test_delay_too_deep(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        g.output(g.op("add", x, g.delay(x, 5)))
+        with pytest.raises(CompileError, match="pipeline"):
+            compile_graph(g)
+
+    def test_delaying_constant_rejected(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        c = g.const(5)
+        g.output(g.op("add", x, g.delay(c, 1)))
+        with pytest.raises(CompileError, match="constant"):
+            compile_graph(g)
+
+
+class TestFirViaCompiler:
+    """A 3-tap FIR expressed as a plain dataflow graph."""
+
+    def test_matches_reference(self):
+        from repro.kernels.reference import fir as ref_fir
+
+        taps = [2, -3, 4]
+        g = DataflowGraph()
+        x = g.input(0)
+        terms = [g.op("mul", x, g.const(taps[0])),
+                 g.op("mul", g.delay(x, 1), g.const(taps[1])),
+                 g.op("mul", g.delay(x, 2), g.const(taps[2]))]
+        y = g.output(g.op("add", g.op("add", terms[0], terms[1]),
+                          terms[2]))
+        # the tap tree is 3 nodes wide at one level: needs a width-3 ring
+        prog = compile_graph(g, RingGeometry(layers=4, width=3))
+        golden = g.evaluate({0: SIG})
+        fabric = prog.run({0: SIG})
+        assert fabric[y] == golden[y] == ref_fir(SIG, taps)
+
+
+class TestScheduling:
+    def test_pass_nodes_inserted_for_level_gaps(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        deep = g.op("abs", g.op("neg", g.op("mov", x)))
+        y = g.output(g.op("add", deep, x))  # x needs a 3-level relay
+        placement = schedule(g)
+        passes = [p for p in placement.phys if p.graph_node is None]
+        assert len(passes) >= 2
+        golden, fabric, _ = run_both(g, SIG)
+        assert fabric[y] == golden[y]
+
+    def test_relays_are_shared(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        a = g.op("add", x, g.delay(x, 1))
+        b = g.op("sub", x, g.delay(x, 1))
+        g.output(a)
+        g.output(b)
+        placement = schedule(g)
+        passes = [p for p in placement.phys if p.graph_node is None]
+        assert len(passes) == 1  # one shared input relay
+
+    def test_width_overflow_detected(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        for _ in range(3):
+            g.output(g.op("mov", x))
+        with pytest.raises(CompileError, match="wide"):
+            schedule(g, width=2)
+
+    def test_depth_overflow_detected(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        node = x
+        for _ in range(5):
+            node = g.op("mov", node)
+        g.output(node)
+        with pytest.raises(CompileError, match="layers"):
+            compile_graph(g, RingGeometry(layers=3, width=2))
+
+    def test_two_constants_rejected(self):
+        g = DataflowGraph()
+        g.input(0)
+        g.output(g.op("add", g.const(1), g.const(2)))
+        with pytest.raises(CompileError, match="one constant"):
+            compile_graph(g)
+
+    def test_output_must_be_operator(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        g.output(x)
+        with pytest.raises(CompileError, match="operator"):
+            compile_graph(g)
+
+
+class TestAssemblyExport:
+    def test_roundtrip_through_assembler(self):
+        """The exported assembly reassembles to identical behaviour."""
+        from repro import word
+        from repro.asm import assemble, load_system
+
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("add", g.op("mul", x, g.const(3)),
+                          g.delay(x, 1)))
+        prog = compile_graph(g)
+        golden = g.evaluate({0: SIG})[y]
+
+        obj = assemble(prog.to_assembly(), layers=prog.geometry.layers,
+                       width=prog.geometry.width)
+        system = load_system(obj)
+        system.data.stream(0, [word.from_signed(v) for v in SIG])
+        p = prog.placement.phys[prog.placement.outputs[0][1]]
+        tap = system.data.add_tap(p.level - 1, p.lane, skip=p.level - 1,
+                                  limit=len(SIG))
+        system.run(len(SIG) + prog.latency)
+        assert [word.to_signed(v) for v in tap.samples] == golden
+
+
+@st.composite
+def random_graphs(draw):
+    """Random small DAGs over one input stream."""
+    g = DataflowGraph()
+    x = g.input(0)
+    nodes = [x]
+    unary = ["abs", "neg", "not", "mov"]
+    binary = ["add", "sub", "mul", "min", "max", "absdiff", "xor"]
+    for _ in range(draw(st.integers(min_value=1, max_value=5))):
+        if draw(st.booleans()):
+            src = draw(st.sampled_from(nodes))
+            nodes.append(g.op(draw(st.sampled_from(unary)), src))
+        else:
+            a = draw(st.sampled_from(nodes))
+            use_const = draw(st.booleans())
+            b = g.const(draw(st.integers(-20, 20))) if use_const \
+                else draw(st.sampled_from(nodes))
+            nodes.append(g.op(draw(st.sampled_from(binary)), a, b))
+    # output the last operator (guaranteed to exist)
+    ops = [n for n in nodes[1:]]
+    g.output(draw(st.sampled_from(ops)))
+    return g
+
+
+class TestPropertyFabricMatchesGolden:
+    @given(random_graphs(),
+           st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_random_graphs(self, g, sig):
+        try:
+            prog = compile_graph(g)
+        except CompileError:
+            return  # unmappable shapes (too wide) are allowed to reject
+        golden = g.evaluate({0: sig})
+        fabric = prog.run({0: sig})
+        assert fabric == golden
+
+
+class TestConfigureErrors:
+    def test_ring_too_small_for_program(self):
+        from repro.core.ring import Ring
+
+        g = DataflowGraph()
+        x = g.input(0)
+        node = x
+        for _ in range(4):
+            node = g.op("mov", node)
+        g.output(node)
+        prog = compile_graph(g)          # needs 4 layers
+        small = Ring(RingGeometry(layers=2, width=2))
+        with pytest.raises(CompileError, match="needs"):
+            prog.configure(small)
+
+    def test_larger_ring_accepted(self):
+        from repro.core.ring import Ring
+
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("abs", x))
+        prog = compile_graph(g)
+        big = Ring(RingGeometry.ring(16))
+        outputs = prog.run({0: [1, -2, 3]}, ring=big)
+        assert outputs[y] == [1, 2, 3]

@@ -1,0 +1,120 @@
+"""Tests for the dataflow-graph IR and golden evaluator."""
+
+import pytest
+
+from repro.compiler.graph import CompileError, DataflowGraph, NodeKind
+from repro.core.isa import Opcode
+
+
+def simple_graph():
+    g = DataflowGraph()
+    x = g.input(0)
+    y = g.op("add", x, g.const(5))
+    g.output(y)
+    return g, x, y
+
+
+class TestConstruction:
+    def test_node_kinds(self):
+        g, x, y = simple_graph()
+        assert g.node(x).kind is NodeKind.INPUT
+        assert g.node(y).kind is NodeKind.OP
+        assert g.node(y).op is Opcode.ADD
+
+    def test_opcode_by_enum(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        n = g.op(Opcode.ABS, x)
+        assert g.node(n).op is Opcode.ABS
+
+    def test_unknown_opcode(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        with pytest.raises(CompileError, match="unknown opcode"):
+            g.op("frobnicate", x)
+
+    def test_stateful_ops_rejected(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        with pytest.raises(CompileError, match="not compilable"):
+            g.op("mac", x, x)
+
+    def test_arity_checked(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        with pytest.raises(CompileError, match="two operands"):
+            g.op("add", x)
+        with pytest.raises(CompileError, match="one operand"):
+            g.op("abs", x, x)
+
+    def test_dangling_reference(self):
+        g = DataflowGraph()
+        with pytest.raises(CompileError, match="unknown node"):
+            g.op("abs", 7)
+
+    def test_delay_amount_checked(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        with pytest.raises(CompileError):
+            g.delay(x, 0)
+
+    def test_channel_checked(self):
+        with pytest.raises(CompileError):
+            DataflowGraph().input(-1)
+
+    def test_validate_requires_outputs_and_inputs(self):
+        g = DataflowGraph()
+        g.input(0)
+        with pytest.raises(CompileError, match="no outputs"):
+            g.validate()
+        g2 = DataflowGraph()
+        g2.output(g2.const(5))
+        with pytest.raises(CompileError, match="no input"):
+            g2.validate()
+
+    def test_str_lists_nodes(self):
+        g, _, _ = simple_graph()
+        assert "input0" in str(g)
+        assert "outputs:" in str(g)
+
+
+class TestEvaluate:
+    def test_add_const(self):
+        g, _, y = simple_graph()
+        out = g.evaluate({0: [1, 2, 3]})
+        assert out[y] == [6, 7, 8]
+
+    def test_delay_semantics(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        d = g.output(g.op("mov", g.delay(x, 2)))
+        out = g.evaluate({0: [10, 20, 30, 40]})
+        assert out[d] == [0, 0, 10, 20]
+
+    def test_two_streams(self):
+        g = DataflowGraph()
+        a, b = g.input(0), g.input(1)
+        s = g.output(g.op("sub", a, b))
+        out = g.evaluate({0: [10, 10], 1: [1, 2]})
+        assert out[s] == [9, 8]
+
+    def test_missing_stream_reads_zero(self):
+        g = DataflowGraph()
+        a, b = g.input(0), g.input(1)
+        s = g.output(g.op("add", a, b))
+        out = g.evaluate({0: [5, 5]})
+        assert out[s] == [5, 5]
+
+    def test_wrapping_arithmetic(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("add", x, g.const(1)))
+        out = g.evaluate({0: [32767]})
+        assert out[y] == [-32768]
+
+    def test_signed_ops(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        y = g.output(g.op("asr", x, g.const(1)))
+        out = g.evaluate({0: [-7]})
+        assert out[y] == [-4]

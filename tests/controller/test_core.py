@@ -1,0 +1,365 @@
+"""Tests for the RISC configuration controller simulator."""
+
+import pytest
+
+from repro.controller.core import ConfigTargetKind, RiscController
+from repro.controller.isa import Instruction, ROp
+from repro.core.isa import Dest, MicroWord, Opcode, Source, encode
+from repro.core.switch import PortSource, encode_route
+from repro.errors import SimulationError
+
+
+def run(program, cfg_rom=None, max_cycles=10_000, **kwargs):
+    ctrl = RiscController(program, cfg_rom=cfg_rom, **kwargs)
+    ctrl.run_until_halt(max_cycles)
+    return ctrl
+
+
+class TestAluAndMoves:
+    def test_ldi_mov(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=123),
+            Instruction(ROp.MOV, rd=2, rs=1),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[1] == 123
+        assert ctrl.regs[2] == 123
+
+    def test_ldi_wraps_to_16_bits(self):
+        ctrl = run([Instruction(ROp.LDI, rd=1, imm=0xFFFF),
+                    Instruction(ROp.HALT)])
+        assert ctrl.regs[1] == 0xFFFF
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (ROp.ADD, 7, 3, 10),
+        (ROp.SUB, 7, 3, 4),
+        (ROp.SUB, 3, 7, 0xFFFC),
+        (ROp.AND, 0xF0, 0x3C, 0x30),
+        (ROp.OR, 0xF0, 0x0C, 0xFC),
+        (ROp.XOR, 0xFF, 0x0F, 0xF0),
+        (ROp.SHL, 1, 4, 16),
+        (ROp.SHR, 16, 4, 1),
+        (ROp.MUL, 300, 300, (300 * 300) & 0xFFFF),
+    ])
+    def test_alu_ops(self, op, a, b, expected):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=a),
+            Instruction(ROp.LDI, rd=2, imm=b),
+            Instruction(op, rd=3, rs=1, rt=2),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[3] == expected
+
+    def test_addi_negative(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=5),
+            Instruction(ROp.ADDI, rd=1, rs=1, imm=-3),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[1] == 2
+
+
+class TestControlFlow:
+    def test_countdown_loop(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=5),
+            Instruction(ROp.LDI, rd=2, imm=0),
+            Instruction(ROp.LDI, rd=3, imm=0),
+            # loop:
+            Instruction(ROp.ADDI, rd=3, rs=3, imm=2),
+            Instruction(ROp.ADDI, rd=1, rs=1, imm=-1),
+            Instruction(ROp.BNE, rs=1, rt=2, imm=-3),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[3] == 10
+
+    def test_beq_taken_and_not(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=4),
+            Instruction(ROp.LDI, rd=2, imm=4),
+            Instruction(ROp.BEQ, rs=1, rt=2, imm=1),
+            Instruction(ROp.LDI, rd=3, imm=99),   # skipped
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[3] == 0
+
+    def test_blt_signed(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=0xFFFF),  # -1
+            Instruction(ROp.LDI, rd=2, imm=1),
+            Instruction(ROp.BLT, rs=1, rt=2, imm=1),
+            Instruction(ROp.LDI, rd=3, imm=99),      # skipped: -1 < 1
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[3] == 0
+
+    def test_bge(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=5),
+            Instruction(ROp.BGE, rs=1, rt=2, imm=1),
+            Instruction(ROp.LDI, rd=3, imm=99),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[3] == 0
+
+    def test_jmp(self):
+        ctrl = run([
+            Instruction(ROp.JMP, imm=2),
+            Instruction(ROp.LDI, rd=1, imm=99),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[1] == 0
+
+    def test_jal_jr_subroutine(self):
+        ctrl = run([
+            Instruction(ROp.JAL, imm=3),          # call
+            Instruction(ROp.LDI, rd=2, imm=7),    # return lands here
+            Instruction(ROp.HALT),
+            Instruction(ROp.LDI, rd=1, imm=5),    # subroutine
+            Instruction(ROp.JR, rs=15),
+        ])
+        assert ctrl.regs[1] == 5
+        assert ctrl.regs[2] == 7
+
+    def test_pc_out_of_range_raises(self):
+        ctrl = RiscController([Instruction(ROp.JMP, imm=100)])
+        ctrl.step()
+        with pytest.raises(SimulationError, match="PC"):
+            ctrl.step()
+
+    def test_runaway_detected(self):
+        ctrl = RiscController([Instruction(ROp.JMP, imm=0)])
+        with pytest.raises(SimulationError, match="halt"):
+            ctrl.run_until_halt(max_cycles=100)
+
+
+class TestMemory:
+    def test_store_load(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=42),
+            Instruction(ROp.LDI, rd=2, imm=100),
+            Instruction(ROp.SW, rt=1, rs=2, imm=5),
+            Instruction(ROp.LW, rd=3, rs=2, imm=5),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.dmem[105] == 42
+        assert ctrl.regs[3] == 42
+
+    def test_out_of_bounds_access(self):
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=0xFFFF),
+            Instruction(ROp.LW, rd=2, rs=1, imm=0),
+        ], dmem_words=16)
+        ctrl.step()
+        with pytest.raises(SimulationError, match="memory"):
+            ctrl.step()
+
+
+class TestConfigInstructions:
+    ROM = [
+        encode(MicroWord(Opcode.ADD, Source.IN1, Source.IN2, Dest.OUT)),
+        encode_route(PortSource.host(3)),
+    ]
+
+    def test_cfgdi_emits_resolved_microword(self):
+        ctrl = RiscController([Instruction(ROp.CFGDI, dnode=5, cfg=0)],
+                              cfg_rom=self.ROM)
+        commands = ctrl.step()
+        assert len(commands) == 1
+        cmd = commands[0]
+        assert cmd.kind is ConfigTargetKind.DNODE_WORD
+        assert cmd.dnode == 5
+        assert cmd.microword.op is Opcode.ADD
+
+    def test_cfgd_register_indirect(self):
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=3),
+            Instruction(ROp.LDI, rd=2, imm=0),
+            Instruction(ROp.CFGD, rs=1, rt=2),
+        ], cfg_rom=self.ROM)
+        ctrl.step(); ctrl.step()
+        commands = ctrl.step()
+        assert commands[0].dnode == 3
+
+    def test_cfgs_emits_route(self):
+        ctrl = RiscController(
+            [Instruction(ROp.CFGS, sw=2, pos=1, port=2, cfg=1)],
+            cfg_rom=self.ROM)
+        cmd = ctrl.step()[0]
+        assert cmd.kind is ConfigTargetKind.SWITCH_ROUTE
+        assert (cmd.sw, cmd.pos, cmd.port) == (2, 1, 2)
+        assert cmd.route == PortSource.host(3)
+
+    def test_cfgl_cfglim_cfgmode(self):
+        ctrl = RiscController([
+            Instruction(ROp.CFGL, dnode=1, slot=4, cfg=0),
+            Instruction(ROp.CFGLIM, dnode=1, limit=5),
+            Instruction(ROp.CFGMODE, dnode=1, mode=1),
+        ], cfg_rom=self.ROM)
+        c1 = ctrl.step()[0]
+        c2 = ctrl.step()[0]
+        c3 = ctrl.step()[0]
+        assert c1.kind is ConfigTargetKind.LOCAL_SLOT and c1.slot == 4
+        assert c2.kind is ConfigTargetKind.LOCAL_LIMIT and c2.limit == 5
+        assert c3.kind is ConfigTargetKind.MODE and c3.mode == 1
+
+    def test_cfgplane(self):
+        ctrl = RiscController([Instruction(ROp.CFGPLANE, plane=2)])
+        cmd = ctrl.step()[0]
+        assert cmd.kind is ConfigTargetKind.PLANE
+        assert cmd.plane == 2
+
+    def test_rom_index_validated(self):
+        ctrl = RiscController([Instruction(ROp.CFGDI, dnode=0, cfg=9)],
+                              cfg_rom=self.ROM)
+        with pytest.raises(SimulationError, match="ROM"):
+            ctrl.step()
+
+    def test_config_command_counter(self):
+        ctrl = RiscController([Instruction(ROp.CFGDI, dnode=0, cfg=0),
+                               Instruction(ROp.HALT)],
+                              cfg_rom=self.ROM)
+        ctrl.run_until_halt()
+        assert ctrl.state.config_commands == 1
+
+
+class TestHostIo:
+    def test_busw_drives_bus(self):
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=77),
+            Instruction(ROp.BUSW, rs=1),
+            Instruction(ROp.HALT),
+        ])
+        ctrl.run_until_halt()
+        assert ctrl.bus_out == 77
+        assert ctrl.state.bus_writes == 1
+
+    def test_inw_pops_mailbox(self):
+        ctrl = RiscController([Instruction(ROp.INW, rd=1, ch=0),
+                               Instruction(ROp.HALT)])
+        ctrl.host_send(0, 31)
+        ctrl.run_until_halt()
+        assert ctrl.regs[1] == 31
+
+    def test_inw_stalls_until_data(self):
+        ctrl = RiscController([Instruction(ROp.INW, rd=1, ch=0),
+                               Instruction(ROp.HALT)])
+        ctrl.step()
+        ctrl.step()
+        assert ctrl.pc == 0 and ctrl.state.stalls == 2
+        ctrl.host_send(0, 9)
+        ctrl.step()
+        assert ctrl.regs[1] == 9 and ctrl.pc == 1
+
+    def test_outw_pushes_mailbox(self):
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=55),
+            Instruction(ROp.OUTW, ch=2, rs=1),
+            Instruction(ROp.HALT),
+        ])
+        ctrl.run_until_halt()
+        assert ctrl.host_receive(2) == 55
+        assert ctrl.host_receive(2) is None
+
+    def test_bfe_branches_on_empty(self):
+        ctrl = run([
+            Instruction(ROp.BFE, ch=0, imm=1),
+            Instruction(ROp.LDI, rd=1, imm=99),  # skipped (empty)
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[1] == 0
+
+    def test_bfe_falls_through_with_data(self):
+        ctrl = RiscController([
+            Instruction(ROp.BFE, ch=0, imm=1),
+            Instruction(ROp.LDI, rd=1, imm=99),
+            Instruction(ROp.HALT),
+        ])
+        ctrl.host_send(0, 1)
+        ctrl.run_until_halt()
+        assert ctrl.regs[1] == 99
+
+    def test_mailbox_channel_validated(self):
+        ctrl = RiscController([Instruction(ROp.HALT)])
+        with pytest.raises(SimulationError):
+            ctrl.host_send(99, 0)
+
+
+class TestTiming:
+    def test_waiti_occupies_cycles(self):
+        ctrl = RiscController([Instruction(ROp.WAITI, imm=5),
+                               Instruction(ROp.HALT)])
+        cycles = ctrl.run_until_halt()
+        assert cycles == 6  # 5 wait cycles + halt
+
+    def test_one_instruction_per_cycle(self):
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=1),
+            Instruction(ROp.NOP),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.run_until_halt() == 3
+
+    def test_halted_steps_are_free(self):
+        ctrl = RiscController([Instruction(ROp.HALT)])
+        ctrl.run_until_halt()
+        assert ctrl.step() == []
+        assert ctrl.halted
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SimulationError):
+            RiscController([])
+
+
+class TestFabricReadback:
+    """RDD / CFGIMM: the bidirectional shared-bus extension."""
+
+    def test_rdd_requires_attached_fabric(self):
+        ctrl = RiscController([Instruction(ROp.RDD, rd=1, dnode=0)])
+        with pytest.raises(SimulationError, match="fabric"):
+            ctrl.step()
+
+    def test_rdd_reads_dnode_out(self):
+        ctrl = RiscController([Instruction(ROp.RDD, rd=1, dnode=5),
+                               Instruction(ROp.HALT)])
+        ctrl.fabric_reader = lambda dnode: 1000 + dnode
+        ctrl.run_until_halt()
+        assert ctrl.regs[1] == 1005
+
+    def test_cfgimm_patches_immediate(self):
+        from repro.core.isa import Dest, Source
+        rom = [encode(MicroWord(Opcode.MUL, Source.BUS, Source.IMM,
+                                Dest.OUT, imm=0))]
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=321),
+            Instruction(ROp.CFGIMM, dnode=2, cfg=0, rs=1),
+        ], cfg_rom=rom)
+        ctrl.step()
+        cmd = ctrl.step()[0]
+        assert cmd.kind is ConfigTargetKind.DNODE_WORD
+        assert cmd.dnode == 2
+        assert cmd.microword.imm == 321
+        assert cmd.microword.op is Opcode.MUL
+
+    def test_sar_is_arithmetic(self):
+        ctrl = run([
+            Instruction(ROp.LDI, rd=1, imm=0xFFE0),  # -32
+            Instruction(ROp.LDI, rd=2, imm=3),
+            Instruction(ROp.SAR, rd=3, rs=1, rt=2),
+            Instruction(ROp.SHR, rd=4, rs=1, rt=2),
+            Instruction(ROp.HALT),
+        ])
+        assert ctrl.regs[3] == 0xFFFC           # -4 (sign extended)
+        assert ctrl.regs[4] == 0x1FFC           # logical shift differs
+
+    def test_system_wires_fabric_reader(self):
+        from repro.core.ring import make_ring
+        from repro.host.system import RingSystem
+
+        ring = make_ring(4)
+        ring.dnode(1, 1)._out = 42
+        ctrl = RiscController([Instruction(ROp.RDD, rd=1, dnode=3),
+                               Instruction(ROp.HALT)])
+        system = RingSystem(ring, ctrl)
+        system.run_until_halt()
+        assert ctrl.regs[1] == 42

@@ -1,0 +1,79 @@
+"""Tests for the controller RISC instruction set and encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.controller.isa import (
+    FORMATS,
+    Instruction,
+    ROp,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.errors import ConfigurationError
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(list(ROp)))
+    fields = {}
+    for name, width, signed in FORMATS[op]:
+        if signed:
+            lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        else:
+            lo, hi = 0, (1 << width) - 1
+        if name in ("rd", "rs", "rt"):
+            hi = min(hi, 15)
+        if name == "limit":
+            lo = max(lo, 1)
+            hi = min(hi, 8)
+        fields[name] = draw(st.integers(min_value=lo, max_value=hi))
+    return Instruction(op, **fields)
+
+
+class TestInstruction:
+    def test_register_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(ROp.MOV, rd=16, rs=0)
+
+    def test_field_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(ROp.CFGDI, dnode=1 << 10, cfg=0)
+
+    def test_signed_immediate_range(self):
+        Instruction(ROp.ADDI, rd=0, rs=0, imm=-2048)
+        with pytest.raises(ConfigurationError):
+            Instruction(ROp.ADDI, rd=0, rs=0, imm=-2049)
+
+    def test_str_lists_fields(self):
+        text = str(Instruction(ROp.LDI, rd=3, imm=7))
+        assert "ldi" in text and "rd=3" in text
+
+
+class TestEncoding:
+    @given(instructions())
+    def test_roundtrip(self, instr):
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+    @given(instructions())
+    def test_fits_32_bits(self, instr):
+        assert 0 <= encode_instruction(instr) < (1 << 32)
+
+    def test_decode_rejects_bad_opcode(self):
+        with pytest.raises(ConfigurationError):
+            decode_instruction(63 << 26)
+
+    def test_decode_rejects_oversize(self):
+        with pytest.raises(ConfigurationError):
+            decode_instruction(1 << 32)
+
+    def test_program_roundtrip(self):
+        program = [Instruction(ROp.LDI, rd=1, imm=5),
+                   Instruction(ROp.HALT)]
+        assert decode_program(encode_program(program)) == program
+
+    def test_negative_branch_offset_roundtrip(self):
+        instr = Instruction(ROp.BNE, rs=1, rt=2, imm=-6)
+        assert decode_instruction(encode_instruction(instr)).imm == -6

@@ -1,0 +1,165 @@
+"""Tests for the word-addressable configuration space."""
+
+import pytest
+
+from repro.core.address_map import AddressMap, DNODE_STRIDE
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import make_ring
+from repro.core.switch import PortSource, encode_route
+from repro.errors import ConfigurationError
+
+
+def configured_ring():
+    ring = make_ring(8)
+    ring.config.write_microword(0, 0, MicroWord(
+        Opcode.ADD, Source.IN1, Source.IMM, Dest.OUT, imm=5))
+    ring.config.write_local_program(1, 1, [
+        MicroWord(Opcode.MUL, Source.FIFO1, Source.IMM, Dest.R0, imm=3),
+        MicroWord(Opcode.MOV, Source.R0, dst=Dest.OUT),
+    ])
+    ring.config.write_mode(1, 1, DnodeMode.LOCAL)
+    ring.config.write_switch_route(2, 0, 1, PortSource.rp(3, 2))
+    return ring
+
+
+class TestAddressing:
+    def test_size_covers_all_state(self):
+        ring = make_ring(8)
+        amap = AddressMap(ring)
+        assert amap.size == 8 * DNODE_STRIDE + 4 * 2 * 2
+
+    def test_symbolic_addresses_distinct(self):
+        amap = AddressMap(make_ring(8))
+        addrs = set()
+        for layer in range(4):
+            for pos in range(2):
+                addrs.add(amap.global_word_addr(layer, pos))
+                addrs.add(amap.mode_addr(layer, pos))
+                addrs.add(amap.limit_addr(layer, pos))
+                for slot in range(8):
+                    addrs.add(amap.slot_addr(layer, pos, slot))
+        for sw in range(4):
+            for pos in range(2):
+                for port in (1, 2):
+                    addrs.add(amap.route_addr(sw, pos, port))
+        assert len(addrs) == 8 * (3 + 8) + 16
+
+    def test_bounds_checked(self):
+        amap = AddressMap(make_ring(8))
+        with pytest.raises(ConfigurationError):
+            amap.read(amap.size)
+        with pytest.raises(ConfigurationError):
+            amap.write(-1, 0)
+        with pytest.raises(ConfigurationError):
+            amap.slot_addr(0, 0, 8)
+        with pytest.raises(ConfigurationError):
+            amap.route_addr(0, 0, 3)
+
+
+class TestReadback:
+    def test_global_word_readback(self):
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        base = amap.global_word_addr(0, 0)
+        words = [amap.read(base + i) for i in range(3)]
+        from repro.core.isa import encode
+        raw = encode(ring.dnode(0, 0).global_word)
+        assert words == [(raw >> 32) & 0xFF, (raw >> 16) & 0xFFFF,
+                         raw & 0xFFFF]
+
+    def test_mode_and_limit_readback(self):
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        assert amap.read(amap.mode_addr(1, 1)) == 1
+        assert amap.read(amap.limit_addr(1, 1)) == 2
+        assert amap.read(amap.mode_addr(0, 0)) == 0
+
+    def test_route_readback(self):
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        value = amap.read(amap.route_addr(2, 0, 1))
+        assert value == encode_route(PortSource.rp(3, 2))
+
+
+class TestWrite:
+    def test_write_immediate_field(self):
+        """The low word of a microword is its immediate: writable alone."""
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        base = amap.global_word_addr(0, 0)
+        amap.write(base + 2, 99)
+        assert ring.dnode(0, 0).global_word.imm == 99
+        assert ring.dnode(0, 0).global_word.op is Opcode.ADD
+
+    def test_write_mode(self):
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        amap.write(amap.mode_addr(0, 0), 1)
+        assert ring.dnode(0, 0).mode is DnodeMode.LOCAL
+
+    def test_write_route(self):
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        amap.write(amap.route_addr(0, 1, 2),
+                   encode_route(PortSource.host(3)))
+        assert ring.switch(0).config.source_for(1, 2) == PortSource.host(3)
+
+    def test_write_local_slot_word(self):
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        addr = amap.slot_addr(1, 1, 0) + 2  # immediate of slot 0
+        amap.write(addr, 42)
+        assert ring.dnode(1, 1).local.slots()[0].imm == 42
+
+    def test_illegal_intermediate_state_rejected(self):
+        """Writing a word that makes the microword undecodable fails."""
+        ring = configured_ring()
+        amap = AddressMap(ring)
+        base = amap.global_word_addr(0, 0)
+        with pytest.raises(ConfigurationError):
+            amap.write(base, 0xFF)  # opcode bits -> illegal code
+
+    def test_padding_write_rejected(self):
+        amap = AddressMap(make_ring(8))
+        with pytest.raises(ConfigurationError, match="padding"):
+            amap.write(29, 0)  # inside dnode 0 stride, past the slots
+
+    def test_value_range_checked(self):
+        amap = AddressMap(make_ring(8))
+        with pytest.raises(ConfigurationError):
+            amap.write(3, 0x10000)
+
+
+class TestImage:
+    def test_dump_restore_roundtrip(self):
+        source = configured_ring()
+        image = AddressMap(source).dump()
+
+        target = make_ring(8)
+        AddressMap(target).restore(image)
+        assert target.dnode(0, 0).global_word == \
+            source.dnode(0, 0).global_word
+        assert target.dnode(1, 1).mode is DnodeMode.LOCAL
+        assert target.dnode(1, 1).local.slots()[0].imm == 3
+        assert target.switch(2).config.source_for(0, 1) == \
+            PortSource.rp(3, 2)
+
+    def test_restored_fabric_behaves_identically(self):
+        source = configured_ring()
+        image = AddressMap(source).dump()
+        target = make_ring(8)
+        AddressMap(target).restore(image)
+
+        for ring in (source, target):
+            ring.config.write_switch_route(0, 0, 1, PortSource.host(0))
+        values = [7, 11, 13]
+        for ring in (source, target):
+            stream = iter(values + [0, 0])
+            ring.run(3, host_in=lambda ch: next(stream))
+        assert source.dnode(0, 0).out == target.dnode(0, 0).out
+
+    def test_image_length_checked(self):
+        amap = AddressMap(make_ring(8))
+        with pytest.raises(ConfigurationError, match="words"):
+            amap.restore([0] * 3)

@@ -1,0 +1,179 @@
+"""Functional tests of the ALU + multiplier model, including properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import word
+from repro.core.alu import execute_op
+from repro.core.isa import Opcode
+
+raw16 = st.integers(min_value=0, max_value=0xFFFF)
+signed16 = st.integers(min_value=-32768, max_value=32767)
+
+
+def run_signed(op, a, b=0, acc=0, imm=0):
+    """Execute with signed inputs, return a signed result."""
+    return word.to_signed(execute_op(
+        op, word.from_signed(a), word.from_signed(b),
+        word.from_signed(acc), word.from_signed(imm)))
+
+
+class TestBasicOps:
+    def test_nop_returns_zero(self):
+        assert execute_op(Opcode.NOP, 123, 45) == 0
+
+    def test_mov_passes_a(self):
+        assert execute_op(Opcode.MOV, 0xBEEF) == 0xBEEF
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (3, 4, 7), (-3, 4, 1), (32767, 1, -32768),  # wraps
+    ])
+    def test_add(self, a, b, expected):
+        assert run_signed(Opcode.ADD, a, b) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (10, 3, 7), (-32768, 1, 32767),  # wraps
+    ])
+    def test_sub(self, a, b, expected):
+        assert run_signed(Opcode.SUB, a, b) == expected
+
+    def test_mul_low_half(self):
+        assert run_signed(Opcode.MUL, 7, -3) == -21
+
+    def test_mulh_high_half(self):
+        # 0x4000 * 0x4000 = 0x1000_0000 -> high half 0x1000
+        assert execute_op(Opcode.MULH, 0x4000, 0x4000) == 0x1000
+
+    def test_mulh_negative(self):
+        assert run_signed(Opcode.MULH, -32768, 2) == -1
+
+    def test_logic_ops(self):
+        assert execute_op(Opcode.AND, 0xF0F0, 0xFF00) == 0xF000
+        assert execute_op(Opcode.OR, 0xF0F0, 0x0F00) == 0xFFF0
+        assert execute_op(Opcode.XOR, 0xFFFF, 0x00FF) == 0xFF00
+        assert execute_op(Opcode.NOT, 0x00FF) == 0xFF00
+
+    def test_neg(self):
+        assert run_signed(Opcode.NEG, 5) == -5
+        assert run_signed(Opcode.NEG, -32768) == -32768  # hardware wrap
+
+
+class TestShifts:
+    def test_shl(self):
+        assert execute_op(Opcode.SHL, 1, 4) == 16
+
+    def test_shl_wraps(self):
+        assert execute_op(Opcode.SHL, 0x8000, 1) == 0
+
+    def test_shr_logical(self):
+        assert execute_op(Opcode.SHR, 0x8000, 15) == 1
+
+    def test_asr_sign_extends(self):
+        assert run_signed(Opcode.ASR, -8, 1) == -4
+
+    def test_asr_is_floor_division(self):
+        assert run_signed(Opcode.ASR, -7, 1) == -4  # floor(-3.5)
+
+    def test_shift_amount_uses_low_bits(self):
+        assert execute_op(Opcode.SHL, 1, 16 + 4) == 16
+
+    @given(signed16, st.integers(min_value=0, max_value=15))
+    def test_asr_matches_python_floor_shift(self, a, n):
+        assert run_signed(Opcode.ASR, a, n) == a >> n
+
+
+class TestDspOps:
+    def test_abs(self):
+        assert run_signed(Opcode.ABS, -42) == 42
+
+    def test_absdiff(self):
+        assert run_signed(Opcode.ABSDIFF, 10, 30) == 20
+        assert run_signed(Opcode.ABSDIFF, 30, 10) == 20
+
+    @given(signed16, signed16)
+    def test_absdiff_symmetric(self, a, b):
+        assert run_signed(Opcode.ABSDIFF, a, b) == \
+            run_signed(Opcode.ABSDIFF, b, a)
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_absdiff_exact_for_pixels(self, a, b):
+        assert run_signed(Opcode.ABSDIFF, a, b) == abs(a - b)
+
+    def test_min_max_signed(self):
+        assert run_signed(Opcode.MIN, -5, 3) == -5
+        assert run_signed(Opcode.MAX, -5, 3) == 3
+
+    @given(signed16, signed16)
+    def test_min_max_partition(self, a, b):
+        lo = run_signed(Opcode.MIN, a, b)
+        hi = run_signed(Opcode.MAX, a, b)
+        assert {lo, hi} == {min(a, b), max(a, b)}
+
+    def test_avg2_floor(self):
+        assert run_signed(Opcode.AVG2, 3, 4) == 3
+        assert run_signed(Opcode.AVG2, -3, -4) == -4  # floor
+
+    @given(signed16, signed16)
+    def test_avg2_matches_floor(self, a, b):
+        assert run_signed(Opcode.AVG2, a, b) == (a + b) >> 1
+
+    def test_cmp_ops(self):
+        assert execute_op(Opcode.CMPEQ, 5, 5) == 1
+        assert execute_op(Opcode.CMPEQ, 5, 6) == 0
+        assert run_signed(Opcode.CMPLT, -1, 0) == 1
+        assert run_signed(Opcode.CMPLT, 0, -1) == 0
+
+
+class TestSaturating:
+    def test_addsat_clamps(self):
+        assert run_signed(Opcode.ADDSAT, 30000, 10000) == 32767
+        assert run_signed(Opcode.SUBSAT, -30000, 10000) == -32768
+
+    @given(signed16, signed16)
+    def test_addsat_in_range(self, a, b):
+        result = run_signed(Opcode.ADDSAT, a, b)
+        assert -32768 <= result <= 32767
+        assert result == max(-32768, min(32767, a + b))
+
+
+class TestMacFamily:
+    def test_mac_is_mul_plus_acc(self):
+        assert run_signed(Opcode.MAC, 3, 4, acc=10) == 22
+
+    @given(signed16, signed16, signed16)
+    def test_mac_matches_wrapped_reference(self, a, b, acc):
+        expected = word.wrap(a * b + acc)
+        assert execute_op(Opcode.MAC, word.from_signed(a),
+                          word.from_signed(b),
+                          word.from_signed(acc)) == expected
+
+    def test_macs_saturates(self):
+        assert run_signed(Opcode.MACS, 200, 200, acc=30000) == 32767
+
+    def test_madd_uses_imm_coefficient(self):
+        # a + b*imm
+        assert run_signed(Opcode.MADD, 10, 3, imm=5) == 25
+
+    def test_msub_uses_imm_coefficient(self):
+        assert run_signed(Opcode.MSUB, 10, 3, imm=5) == -5
+
+    @given(signed16, signed16, signed16)
+    def test_madd_matches_wrapped_reference(self, a, b, c):
+        expected = word.wrap(a + b * c)
+        assert execute_op(Opcode.MADD, word.from_signed(a),
+                          word.from_signed(b), 0,
+                          imm=word.from_signed(c)) == expected
+
+
+class TestValidation:
+    def test_rejects_non_canonical_operand(self):
+        with pytest.raises(ValueError):
+            execute_op(Opcode.ADD, -1, 0)
+        with pytest.raises(ValueError):
+            execute_op(Opcode.ADD, 0, 0x10000)
+
+    @given(st.sampled_from(list(Opcode)), raw16, raw16, raw16)
+    def test_every_opcode_returns_canonical(self, op, a, b, acc):
+        result = execute_op(op, a, b, acc)
+        assert 0 <= result <= 0xFFFF

@@ -1,0 +1,97 @@
+"""Tests for the configuration layer (ConfigMemory / ConfigPlane)."""
+
+import pytest
+
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry
+from repro.core.switch import PortSource
+from repro.errors import ConfigurationError
+
+
+def mw(imm=0):
+    return MicroWord(Opcode.MOV, Source.IMM, dst=Dest.OUT, imm=imm)
+
+
+class TestWrites:
+    def test_write_microword(self, ring8):
+        ring8.config.write_microword(1, 1, mw(5))
+        assert ring8.dnode(1, 1).global_word == mw(5)
+
+    def test_write_mode(self, ring8):
+        ring8.config.write_mode(0, 0, DnodeMode.LOCAL)
+        assert ring8.dnode(0, 0).mode is DnodeMode.LOCAL
+
+    def test_write_local_slot_and_limit(self, ring8):
+        ring8.config.write_local_slot(0, 0, 2, mw(9))
+        ring8.config.write_local_limit(0, 0, 3)
+        dn = ring8.dnode(0, 0)
+        assert dn.local.slots()[2] == mw(9)
+        assert dn.local.limit == 3
+
+    def test_write_local_program(self, ring8):
+        ring8.config.write_local_program(0, 0, [mw(1), mw(2)])
+        assert ring8.dnode(0, 0).local.limit == 2
+
+    def test_write_switch_route(self, ring8):
+        ring8.config.write_switch_route(2, 1, 2, PortSource.up(0))
+        assert ring8.switch(2).config.source_for(1, 2) == PortSource.up(0)
+
+    def test_addresses_validated(self, ring8):
+        with pytest.raises(ConfigurationError):
+            ring8.config.write_microword(9, 0, mw())
+
+    def test_write_counter(self, ring8):
+        before = ring8.config.writes
+        ring8.config.write_microword(0, 0, mw())
+        ring8.config.write_mode(0, 0, DnodeMode.LOCAL)
+        assert ring8.config.writes == before + 2
+
+
+class TestPlanes:
+    def test_capture_apply_roundtrip(self, ring8):
+        cfg = ring8.config
+        cfg.write_microword(0, 0, mw(1))
+        cfg.write_mode(1, 0, DnodeMode.LOCAL)
+        cfg.write_local_program(1, 0, [mw(2), mw(3)])
+        cfg.write_switch_route(0, 0, 1, PortSource.host(2))
+        plane = cfg.capture_plane()
+
+        # scramble everything
+        cfg.write_microword(0, 0, mw(9))
+        cfg.write_mode(1, 0, DnodeMode.GLOBAL)
+        cfg.write_switch_route(0, 0, 1, PortSource.zero())
+
+        cfg.apply_plane(plane)
+        assert ring8.dnode(0, 0).global_word == mw(1)
+        assert ring8.dnode(1, 0).mode is DnodeMode.LOCAL
+        assert ring8.dnode(1, 0).local.slots()[1] == mw(3)
+        assert ring8.switch(0).config.source_for(0, 1) == PortSource.host(2)
+
+    def test_partial_plane_only_touches_listed(self, ring8):
+        from repro.core.config_memory import ConfigPlane
+
+        ring8.config.write_microword(0, 0, mw(1))
+        ring8.config.write_microword(0, 1, mw(2))
+        plane = ConfigPlane(microwords={(0, 0): mw(7)})
+        ring8.config.apply_plane(plane)
+        assert ring8.dnode(0, 0).global_word == mw(7)
+        assert ring8.dnode(0, 1).global_word == mw(2)
+
+    def test_apply_type_checked(self, ring8):
+        with pytest.raises(ConfigurationError):
+            ring8.config.apply_plane({"not": "a plane"})
+
+    def test_plane_counts_as_one_write_burst(self, ring8):
+        plane = ring8.config.capture_plane()
+        before = ring8.config.writes
+        ring8.config.apply_plane(plane)
+        assert ring8.config.writes == before + 1
+
+    def test_captured_plane_covers_whole_fabric(self, ring8):
+        plane = ring8.config.capture_plane()
+        geometry = ring8.geometry
+        assert len(plane.microwords) == geometry.dnodes
+        assert len(plane.modes) == geometry.dnodes
+        assert len(plane.switch_routes) == geometry.layers * \
+            geometry.width * 2

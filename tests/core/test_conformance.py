@@ -1,0 +1,124 @@
+"""ISA conformance: every opcode, corner operands, two execution paths.
+
+For each opcode we run a directed set of corner-value operands (0, 1,
+-1, extremes, alternating bits) through:
+
+1. the combinational model (``execute_op``), checked against an
+   independent Python semantic written here (not shared with the
+   implementation), and
+2. a real Dnode on a fabric (operands delivered via bus/immediate),
+   checked to agree with (1).
+
+This is the conformance style real ISS verification uses: the same
+vector through two independent paths.
+"""
+
+import pytest
+
+from repro import word
+from repro.core.alu import execute_op
+from repro.core.dnode import Dnode, DnodeInputs
+from repro.core.isa import Dest, MicroWord, Opcode, Source
+
+CORNERS = [0, 1, 2, 0x7FFF, 0x8000, 0x8001, 0xFFFF, 0xAAAA, 0x5555,
+           100, 0xFF9C]  # 100 and -100
+
+
+def _s(raw):
+    return word.to_signed(raw)
+
+
+def _u(value):
+    return value & 0xFFFF
+
+
+#: Independent semantics (kept deliberately separate from repro.core.alu).
+SEMANTICS = {
+    Opcode.MOV: lambda a, b: a,
+    Opcode.ADD: lambda a, b: _u(a + b),
+    Opcode.SUB: lambda a, b: _u(a - b),
+    Opcode.MUL: lambda a, b: _u(_s(a) * _s(b)),
+    Opcode.MULH: lambda a, b: _u((_s(a) * _s(b)) >> 16),
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.NOT: lambda a, b: _u(~a),
+    Opcode.NEG: lambda a, b: _u(-_s(a)),
+    Opcode.SHL: lambda a, b: _u(a << (b & 15)),
+    Opcode.SHR: lambda a, b: a >> (b & 15),
+    Opcode.ASR: lambda a, b: _u(_s(a) >> (b & 15)),
+    Opcode.ABS: lambda a, b: _u(abs(_s(a))),
+    Opcode.ABSDIFF: lambda a, b: _u(abs(_s(a) - _s(b))),
+    Opcode.MIN: lambda a, b: a if _s(a) <= _s(b) else b,
+    Opcode.MAX: lambda a, b: a if _s(a) >= _s(b) else b,
+    Opcode.ADDSAT: lambda a, b: _u(max(-32768, min(32767, _s(a) + _s(b)))),
+    Opcode.SUBSAT: lambda a, b: _u(max(-32768, min(32767, _s(a) - _s(b)))),
+    Opcode.CMPEQ: lambda a, b: 1 if a == b else 0,
+    Opcode.CMPLT: lambda a, b: 1 if _s(a) < _s(b) else 0,
+    Opcode.AVG2: lambda a, b: _u((_s(a) + _s(b)) >> 1),
+}
+
+UNARY = {Opcode.MOV, Opcode.NOT, Opcode.NEG, Opcode.ABS}
+
+
+@pytest.mark.parametrize("op", sorted(SEMANTICS, key=int))
+def test_alu_model_conforms(op):
+    semantic = SEMANTICS[op]
+    for a in CORNERS:
+        for b in CORNERS:
+            assert execute_op(op, a, b) == semantic(a, b), \
+                f"{op.name}({a:#06x}, {b:#06x})"
+
+
+@pytest.mark.parametrize("op", sorted(SEMANTICS, key=int))
+def test_dnode_path_conforms(op):
+    """The same vectors through a real Dnode (bus + immediate operands)."""
+    semantic = SEMANTICS[op]
+    dn = Dnode()
+    for a in CORNERS[:6]:
+        for b in CORNERS[:6]:
+            mw = MicroWord(op, Source.BUS,
+                           Source.ZERO if op in UNARY else Source.IMM,
+                           Dest.OUT, imm=b)
+            dn.configure(mw)
+            dn.evaluate(DnodeInputs(bus=a))
+            dn.commit()
+            assert dn.out == semantic(a, b), \
+                f"{op.name}({a:#06x}, {b:#06x}) on the Dnode path"
+
+
+class TestAccumulatingConformance:
+    @pytest.mark.parametrize("a,b,acc", [
+        (0, 0, 0), (1, 1, 0xFFFF), (0x7FFF, 2, 5),
+        (0x8000, 0x8000, 0), (100, 0xFF9C, 1000),
+    ])
+    def test_mac(self, a, b, acc):
+        expected = _u(_s(a) * _s(b) + _s(acc))
+        assert execute_op(Opcode.MAC, a, b, acc) == expected
+
+    @pytest.mark.parametrize("a,b,acc", [
+        (0x7FFF, 0x7FFF, 0x7FFF),     # saturate high
+        (0x8000, 0x7FFF, 0x8000),     # saturate low
+        (3, 4, 10),                    # in range
+    ])
+    def test_macs_saturation(self, a, b, acc):
+        raw_sum = _s(a) * _s(b) + _s(acc)
+        expected = _u(max(-32768, min(32767, raw_sum)))
+        assert execute_op(Opcode.MACS, a, b, acc) == expected
+
+    @pytest.mark.parametrize("a,b,imm", [
+        (0, 0, 0), (5, 3, 7), (0xFFFF, 0xFFFF, 0xFFFF),
+        (0x8000, 2, 0x7FFF),
+    ])
+    def test_madd_msub(self, a, b, imm):
+        assert execute_op(Opcode.MADD, a, b, imm=imm) == \
+            _u(_s(a) + _s(b) * _s(imm))
+        assert execute_op(Opcode.MSUB, a, b, imm=imm) == \
+            _u(_s(a) - _s(b) * _s(imm))
+
+
+def test_every_opcode_is_covered():
+    """The conformance tables cover the full opcode repertoire."""
+    covered = set(SEMANTICS) | {Opcode.NOP, Opcode.MAC, Opcode.MACS,
+                                Opcode.MADD, Opcode.MSUB}
+    assert covered == set(Opcode)

@@ -1,0 +1,194 @@
+"""Tests for the Dnode datapath cell."""
+
+import pytest
+
+from repro import word
+from repro.core.dnode import Dnode, DnodeInputs, DnodeMode
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
+from repro.errors import ConfigurationError
+
+
+def step(dn, mw=None, **inputs):
+    """Configure (optionally), evaluate and commit one cycle."""
+    if mw is not None:
+        dn.configure(mw)
+    dn.evaluate(DnodeInputs(**inputs))
+    return dn.commit()
+
+
+class TestConfiguration:
+    def test_powers_on_global_nop(self):
+        dn = Dnode()
+        assert dn.mode is DnodeMode.GLOBAL
+        assert dn.active_microword().op is Opcode.NOP
+
+    def test_configure_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            Dnode().configure("add out, in1, in2")
+
+    def test_set_mode_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            Dnode().set_mode("local")
+
+    def test_active_word_follows_mode(self):
+        dn = Dnode()
+        dn.configure(MicroWord(Opcode.ADD, Source.IN1, Source.IN2,
+                               Dest.OUT))
+        dn.local.load_program([MicroWord(Opcode.SUB, Source.IN1,
+                                         Source.IN2, Dest.OUT)])
+        assert dn.active_microword().op is Opcode.ADD
+        dn.set_mode(DnodeMode.LOCAL)
+        assert dn.active_microword().op is Opcode.SUB
+
+    def test_name_defaults_to_coordinates(self):
+        assert Dnode(2, 1).name == "D2.1"
+
+
+class TestExecution:
+    def test_out_is_master_slave(self):
+        dn = Dnode()
+        dn.configure(MicroWord(Opcode.MOV, Source.IN1, dst=Dest.OUT))
+        dn.evaluate(DnodeInputs(in1=42))
+        assert dn.out == 0      # not yet committed
+        dn.commit()
+        assert dn.out == 42
+
+    def test_add_from_inputs(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.ADD, Source.IN1, Source.IN2, Dest.OUT),
+             in1=3, in2=4)
+        assert dn.out == 7
+
+    def test_imm_source(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.ADD, Source.IN1, Source.IMM, Dest.OUT,
+                           imm=10), in1=5)
+        assert dn.out == 15
+
+    def test_bus_source(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.BUS, dst=Dest.OUT), bus=77)
+        assert dn.out == 77
+
+    def test_zero_source(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.ZERO, dst=Dest.OUT))
+        assert dn.out == 0
+
+    def test_self_source_reads_own_out(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.IN1, dst=Dest.OUT), in1=5)
+        step(dn, MicroWord(Opcode.ADD, Source.SELF, Source.IMM, Dest.OUT,
+                           imm=1))
+        assert dn.out == 6
+
+    def test_register_destination(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.IN1, dst=Dest.R2), in1=9)
+        assert dn.regs.read(2) == 9
+        assert dn.out == 0  # OUT untouched
+
+    def test_write_out_flag_mirrors(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.IN1, dst=Dest.R2,
+                           flags=Flag.WRITE_OUT), in1=9)
+        assert dn.regs.read(2) == 9
+        assert dn.out == 9
+
+    def test_none_destination_discards(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.IN1, dst=Dest.NONE), in1=9)
+        assert dn.out == 0
+        assert dn.regs.snapshot() == [0, 0, 0, 0]
+
+    def test_mac_accumulates_in_register(self):
+        dn = Dnode()
+        mw = MicroWord(Opcode.MAC, Source.IN1, Source.IN2, Dest.R0)
+        step(dn, mw, in1=3, in2=4)
+        step(dn, mw, in1=5, in2=6)
+        assert dn.regs.read(0) == 42
+
+    def test_rp_source_uses_callback(self):
+        dn = Dnode()
+        calls = []
+
+        def rp(stage, lane):
+            calls.append((stage, lane))
+            return 11
+
+        step(dn, MicroWord(Opcode.MOV, Source.rp(3, 2), dst=Dest.OUT),
+             rp_read=rp)
+        assert dn.out == 11
+        assert calls == [(3, 2)]
+
+    def test_fifo_peek_and_pop_flags(self):
+        dn = Dnode()
+        mw = MicroWord(Opcode.ADD, Source.FIFO1, Source.FIFO2, Dest.OUT,
+                       flags=Flag.POP_FIFO1 | Flag.POP_FIFO2)
+        dn.configure(mw)
+        dn.evaluate(DnodeInputs(fifo_peek=lambda ch: 10 * ch))
+        pops = dn.commit()
+        assert dn.out == 30
+        assert set(pops) == {1, 2}
+
+    def test_pops_reported_even_for_nop(self):
+        dn = Dnode()
+        dn.configure(MicroWord(flags=Flag.POP_FIFO1))
+        dn.evaluate(DnodeInputs())
+        assert dn.commit() == (1,)
+
+
+class TestLocalMode:
+    def test_local_loop_advances_each_cycle(self):
+        dn = Dnode()
+        dn.local.load_program([
+            MicroWord(Opcode.MOV, Source.IMM, dst=Dest.OUT, imm=1),
+            MicroWord(Opcode.MOV, Source.IMM, dst=Dest.OUT, imm=2),
+        ])
+        dn.set_mode(DnodeMode.LOCAL)
+        outs = []
+        for _ in range(4):
+            step(dn)
+            outs.append(dn.out)
+        assert outs == [1, 2, 1, 2]
+
+    def test_global_mode_does_not_advance_counter(self):
+        dn = Dnode()
+        dn.local.load_program([MicroWord(), MicroWord()])
+        step(dn, MicroWord())  # global NOP
+        assert dn.local.counter == 0
+
+
+class TestStats:
+    def test_counts_instructions_and_ops(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MAC, Source.IN1, Source.IN2, Dest.R0),
+             in1=2, in2=3)
+        step(dn, MicroWord())  # NOP
+        assert dn.stats.cycles == 2
+        assert dn.stats.instructions == 1
+        assert dn.stats.arithmetic_ops == 2  # MAC = mult + add
+        assert dn.stats.multiplies == 1
+
+    def test_mov_costs_no_arithmetic(self):
+        dn = Dnode()
+        step(dn, MicroWord(Opcode.MOV, Source.IN1, dst=Dest.OUT), in1=1)
+        assert dn.stats.instructions == 1
+        assert dn.stats.arithmetic_ops == 0
+
+
+class TestReset:
+    def test_reset_clears_datapath_keeps_config(self):
+        dn = Dnode()
+        mw = MicroWord(Opcode.MOV, Source.IN1, dst=Dest.OUT)
+        step(dn, mw, in1=9)
+        dn.reset()
+        assert dn.out == 0
+        assert dn.stats.cycles == 0
+        assert dn.global_word == mw  # configuration survives
+
+    def test_input_validation(self):
+        dn = Dnode()
+        dn.configure(MicroWord(Opcode.MOV, Source.IN1, dst=Dest.OUT))
+        with pytest.raises(ValueError):
+            dn.evaluate(DnodeInputs(in1=word.MASK + 1))

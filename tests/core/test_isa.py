@@ -1,0 +1,145 @@
+"""Tests for the Dnode microinstruction set and its binary encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import isa
+from repro.core.isa import (
+    Dest,
+    Flag,
+    MicroWord,
+    Opcode,
+    Source,
+    decode,
+    decode_bytes,
+    encode,
+    encode_bytes,
+)
+from repro.errors import ConfigurationError
+
+_opcodes = st.sampled_from(list(Opcode))
+_sources = st.sampled_from(list(Source))
+_dests = st.sampled_from(list(Dest))
+_flags = st.integers(min_value=0, max_value=7).map(Flag)
+_imms = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def _valid_dest(op, dst):
+    if op in isa.ACCUMULATING_OPS and not dst.is_register:
+        return Dest.R0
+    return dst
+
+
+@st.composite
+def microwords(draw):
+    op = draw(_opcodes)
+    dst = _valid_dest(op, draw(_dests))
+    return MicroWord(op=op, src_a=draw(_sources), src_b=draw(_sources),
+                     dst=dst, flags=draw(_flags), imm=draw(_imms))
+
+
+class TestMicroWord:
+    def test_default_is_nop(self):
+        assert isa.NOP_WORD.op is Opcode.NOP
+        assert isa.NOP_WORD.sources() == ()
+
+    def test_mac_requires_register_dest(self):
+        with pytest.raises(ConfigurationError, match="accumulates"):
+            MicroWord(Opcode.MAC, Source.IN1, Source.IN2, Dest.OUT)
+
+    def test_macs_requires_register_dest(self):
+        with pytest.raises(ConfigurationError):
+            MicroWord(Opcode.MACS, Source.IN1, Source.IN2, Dest.NONE)
+
+    def test_imm_validated(self):
+        with pytest.raises(ValueError):
+            MicroWord(Opcode.ADD, Source.IMM, Source.R0, Dest.OUT,
+                      imm=0x10000)
+
+    def test_binary_sources(self):
+        mw = MicroWord(Opcode.ADD, Source.IN1, Source.IN2, Dest.OUT)
+        assert mw.sources() == (Source.IN1, Source.IN2)
+
+    def test_unary_sources(self):
+        mw = MicroWord(Opcode.ABS, Source.R1, dst=Dest.OUT)
+        assert mw.sources() == (Source.R1,)
+
+    def test_with_flags_preserves_fields(self):
+        mw = MicroWord(Opcode.ADD, Source.IN1, Source.IN2, Dest.R2, imm=7)
+        flagged = mw.with_flags(Flag.POP_FIFO1)
+        assert flagged.flags & Flag.POP_FIFO1
+        assert flagged.op is mw.op and flagged.imm == 7
+
+    def test_str_contains_mnemonic(self):
+        mw = MicroWord(Opcode.ABSDIFF, Source.FIFO1, Source.FIFO2, Dest.R1)
+        assert "absdiff" in str(mw)
+
+
+class TestSourceHelpers:
+    @pytest.mark.parametrize("stage,lane", [(1, 1), (4, 1), (1, 2), (4, 2)])
+    def test_rp_roundtrip(self, stage, lane):
+        src = Source.rp(stage, lane)
+        assert src.is_feedback
+        assert src.feedback_stage == stage
+        assert src.feedback_lane == lane
+
+    def test_rp_stage_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Source.rp(5, 1)
+        with pytest.raises(ConfigurationError):
+            Source.rp(0, 1)
+
+    def test_rp_lane_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Source.rp(1, 3)
+
+    def test_non_feedback_has_no_stage(self):
+        assert not Source.IN1.is_feedback
+        with pytest.raises(ConfigurationError):
+            _ = Source.IN1.feedback_stage
+
+    def test_all_rp_codes_distinct(self):
+        codes = {Source.rp(s, l) for s in range(1, 5) for l in (1, 2)}
+        assert len(codes) == 8
+
+
+class TestEncoding:
+    def test_nop_encodes_to_zero_fields(self):
+        raw = encode(MicroWord())
+        assert decode(raw) == MicroWord()
+
+    @given(microwords())
+    def test_roundtrip(self, mw):
+        assert decode(encode(mw)) == mw
+
+    @given(microwords())
+    def test_bytes_roundtrip(self, mw):
+        blob = encode_bytes(mw)
+        assert len(blob) == isa.MICROWORD_BYTES
+        assert decode_bytes(blob) == mw
+
+    @given(microwords())
+    def test_fits_in_40_bits(self, mw):
+        assert 0 <= encode(mw) < (1 << isa.MICROWORD_BITS)
+
+    def test_decode_rejects_oversized(self):
+        with pytest.raises(ConfigurationError):
+            decode(1 << 40)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            decode(-1)
+
+    def test_decode_rejects_illegal_opcode(self):
+        raw = 31 << 35  # opcode 31 unused
+        with pytest.raises(ConfigurationError, match="illegal"):
+            decode(raw)
+
+    def test_decode_bytes_rejects_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            decode_bytes(b"\x00\x00")
+
+    @given(microwords(), microwords())
+    def test_injective(self, a, b):
+        if a != b:
+            assert encode(a) != encode(b)

@@ -1,0 +1,103 @@
+"""Tests for the 9-register local sequencer (local mode)."""
+
+import pytest
+
+from repro.core.isa import Dest, MicroWord, Opcode, Source, NOP_WORD
+from repro.core.local_controller import LocalController, NUM_SLOTS
+from repro.errors import ConfigurationError
+
+
+def mw(imm):
+    return MicroWord(Opcode.MOV, Source.IMM, dst=Dest.OUT, imm=imm)
+
+
+class TestSlots:
+    def test_powers_on_to_nops(self):
+        lc = LocalController()
+        assert lc.slots() == [NOP_WORD] * NUM_SLOTS
+        assert lc.limit == 1
+
+    def test_load_slot(self):
+        lc = LocalController()
+        lc.load_slot(3, mw(7))
+        assert lc.slots()[3] == mw(7)
+
+    @pytest.mark.parametrize("index", [-1, NUM_SLOTS])
+    def test_slot_bounds(self, index):
+        with pytest.raises(ConfigurationError):
+            LocalController().load_slot(index, NOP_WORD)
+
+    def test_slot_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            LocalController().load_slot(0, "mov out, in1")
+
+
+class TestProgram:
+    def test_load_program_sets_limit_and_clears_rest(self):
+        lc = LocalController()
+        lc.load_slot(7, mw(9))  # stale content
+        lc.load_program([mw(1), mw(2), mw(3)])
+        assert lc.limit == 3
+        assert lc.slots()[7] == NOP_WORD
+
+    def test_load_program_resets_counter(self):
+        lc = LocalController()
+        lc.load_program([mw(1), mw(2)])
+        lc.advance()
+        lc.load_program([mw(3), mw(4)])
+        assert lc.counter == 0
+
+    def test_program_length_limits(self):
+        with pytest.raises(ConfigurationError):
+            LocalController().load_program([])
+        with pytest.raises(ConfigurationError):
+            LocalController().load_program([mw(0)] * 9)
+
+    def test_max_length_program(self):
+        lc = LocalController()
+        lc.load_program([mw(i) for i in range(8)])
+        assert lc.limit == 8
+
+
+class TestCounter:
+    def test_wraps_at_limit(self):
+        lc = LocalController()
+        lc.load_program([mw(10), mw(20), mw(30)])
+        seen = []
+        for _ in range(7):
+            seen.append(lc.current().imm)
+            lc.advance()
+        assert seen == [10, 20, 30, 10, 20, 30, 10]
+
+    def test_limit_one_is_steady_state(self):
+        lc = LocalController()
+        lc.load_program([mw(5)])
+        for _ in range(3):
+            assert lc.current().imm == 5
+            lc.advance()
+
+    def test_set_limit_validates(self):
+        lc = LocalController()
+        with pytest.raises(ConfigurationError):
+            lc.set_limit(0)
+        with pytest.raises(ConfigurationError):
+            lc.set_limit(9)
+
+    def test_shrinking_limit_reclamps_counter(self):
+        lc = LocalController()
+        lc.load_program([mw(i) for i in range(8)])
+        for _ in range(6):
+            lc.advance()
+        assert lc.counter == 6
+        lc.set_limit(4)
+        assert lc.counter == 0
+
+    def test_reset_counter(self):
+        lc = LocalController()
+        lc.load_program([mw(1), mw(2)])
+        lc.advance()
+        lc.reset_counter()
+        assert lc.counter == 0
+
+    def test_repr(self):
+        assert "limit" in repr(LocalController())

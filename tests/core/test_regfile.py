@@ -1,0 +1,92 @@
+"""Tests for the master-slave register file."""
+
+import pytest
+
+from repro.core.regfile import NUM_REGISTERS, RegisterFile
+from repro.errors import SimulationError
+
+
+class TestConstruction:
+    def test_powers_on_to_zero(self):
+        rf = RegisterFile()
+        assert rf.snapshot() == [0, 0, 0, 0]
+
+    def test_initial_values(self):
+        rf = RegisterFile([1, 2, 3, 4])
+        assert rf.snapshot() == [1, 2, 3, 4]
+
+    def test_rejects_wrong_count(self):
+        with pytest.raises(SimulationError):
+            RegisterFile([1, 2])
+
+    def test_rejects_non_canonical_init(self):
+        with pytest.raises(ValueError):
+            RegisterFile([0, 0, 0, -1])
+
+
+class TestMasterSlave:
+    def test_write_invisible_before_commit(self):
+        rf = RegisterFile()
+        rf.stage_write(0, 99)
+        assert rf.read(0) == 0
+
+    def test_write_visible_after_commit(self):
+        rf = RegisterFile()
+        rf.stage_write(0, 99)
+        rf.commit()
+        assert rf.read(0) == 99
+
+    def test_read_old_value_while_staged(self):
+        rf = RegisterFile([5, 0, 0, 0])
+        rf.stage_write(0, 7)
+        # like `add r0, r0, r0`: operands are the pre-edge value
+        assert rf.read(0) == 5
+        rf.commit()
+        assert rf.read(0) == 7
+
+    def test_double_stage_is_engine_bug(self):
+        rf = RegisterFile()
+        rf.stage_write(0, 1)
+        with pytest.raises(SimulationError, match="staged"):
+            rf.stage_write(1, 2)
+
+    def test_stage_again_after_commit(self):
+        rf = RegisterFile()
+        rf.stage_write(0, 1)
+        rf.commit()
+        rf.stage_write(0, 2)
+        rf.commit()
+        assert rf.read(0) == 2
+
+    def test_commit_without_stage_is_noop(self):
+        rf = RegisterFile([1, 2, 3, 4])
+        rf.commit()
+        assert rf.snapshot() == [1, 2, 3, 4]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("index", [-1, NUM_REGISTERS, 99])
+    def test_read_bounds(self, index):
+        with pytest.raises(SimulationError):
+            RegisterFile().read(index)
+
+    def test_write_bounds(self):
+        with pytest.raises(SimulationError):
+            RegisterFile().stage_write(4, 0)
+
+    def test_write_value_canonical(self):
+        with pytest.raises(ValueError):
+            RegisterFile().stage_write(0, -1)
+
+
+class TestReset:
+    def test_reset_clears_values_and_pending(self):
+        rf = RegisterFile([1, 2, 3, 4])
+        rf.stage_write(0, 9)
+        rf.reset()
+        assert rf.snapshot() == [0, 0, 0, 0]
+        rf.commit()  # pending write must be gone
+        assert rf.read(0) == 0
+
+    def test_repr_mentions_values(self):
+        assert "r0" in repr(RegisterFile())

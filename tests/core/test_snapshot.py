@@ -1,0 +1,96 @@
+"""Tests for fabric checkpoint/restore."""
+
+import pytest
+
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry, make_ring
+from repro.core.snapshot import capture, restore
+from repro.core.switch import PortSource
+from repro.errors import SimulationError
+
+
+def busy_ring():
+    """A ring with every kind of live state: registers, OUT values,
+    pipeline contents, FIFO backlogs, a mid-loop local counter."""
+    ring = make_ring(8)
+    cfg = ring.config
+    cfg.write_switch_route(0, 0, 1, PortSource.host(0))
+    cfg.write_microword(0, 0, MicroWord(
+        Opcode.ADD, Source.SELF, Source.IMM, Dest.OUT, imm=3))
+    cfg.write_local_program(1, 0, [
+        MicroWord(Opcode.MAC, Source.FIFO1, Source.FIFO2, Dest.R0,
+                  flags=Flag.POP_FIFO1 | Flag.POP_FIFO2),
+        MicroWord(Opcode.MOV, Source.R0, dst=Dest.OUT),
+        MicroWord(Opcode.NOP),
+    ])
+    cfg.write_mode(1, 0, DnodeMode.LOCAL)
+    cfg.write_switch_route(2, 0, 1, PortSource.rp(2, 1))
+    cfg.write_microword(2, 0, MicroWord(Opcode.MOV, Source.IN1,
+                                        dst=Dest.OUT))
+    ring.push_fifo(1, 0, 1, [2, 3, 4, 5, 6, 7, 8])
+    ring.push_fifo(1, 0, 2, [10, 10, 10, 10, 10, 10, 10])
+    ring.run(5, host_in=lambda ch: 1)
+    return ring
+
+
+def fabric_state(ring):
+    return {
+        "outs": [dn.out for dn in ring.all_dnodes()],
+        "regs": [dn.regs.snapshot() for dn in ring.all_dnodes()],
+        "counters": [dn.local.counter for dn in ring.all_dnodes()],
+        "pipes": [[ring.switch(k).rp_read(s, l)
+                   for s in range(1, 5) for l in (1, 2)]
+                  for k in range(4)],
+        "fifos": [list(ring.fifo(1, 0, ch)) for ch in (1, 2)],
+        "cycles": ring.cycles,
+    }
+
+
+class TestCaptureRestore:
+    def test_state_restored_exactly(self):
+        source = busy_ring()
+        snapshot = capture(source)
+        target = make_ring(8)
+        restore(target, snapshot)
+        assert fabric_state(target) == fabric_state(source)
+
+    def test_restored_ring_continues_identically(self):
+        """The acid test: run the original and the restored ring forward
+        and require cycle-for-cycle identical evolution."""
+        source = busy_ring()
+        snapshot = capture(source)
+        target = make_ring(8)
+        restore(target, snapshot)
+        for _ in range(6):
+            source.step(host_in=lambda ch: 1)
+            target.step(host_in=lambda ch: 1)
+            assert fabric_state(target) == fabric_state(source)
+
+    def test_snapshot_is_independent_of_source(self):
+        source = busy_ring()
+        snapshot = capture(source)
+        cycles_at_capture = snapshot.cycles
+        source.run(3, host_in=lambda ch: 1)
+        assert snapshot.cycles == cycles_at_capture
+
+    def test_geometry_mismatch_rejected(self):
+        snapshot = capture(busy_ring())
+        with pytest.raises(SimulationError, match="snapshot"):
+            restore(make_ring(16), snapshot)
+
+    def test_mid_loop_local_counter_preserved(self):
+        source = busy_ring()  # period-3 local loop after 5 cycles
+        assert source.dnode(1, 0).local.counter == 5 % 3
+        target = make_ring(8)
+        restore(target, capture(source))
+        assert target.dnode(1, 0).local.counter == 5 % 3
+
+    def test_restore_over_dirty_ring(self):
+        """Restoring discards whatever the target was doing."""
+        source = busy_ring()
+        snapshot = capture(source)
+        target = busy_ring()
+        target.run(7, host_in=lambda ch: 2)
+        restore(target, snapshot)
+        assert fabric_state(target) == fabric_state(source)

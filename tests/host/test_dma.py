@@ -1,0 +1,68 @@
+"""Tests for the bandwidth-limited transfer models (§5.1)."""
+
+import pytest
+
+from repro.host.dma import (
+    BYTES_PER_WORD,
+    ONCHIP_PORTS,
+    PCI_BUS,
+    TransferModel,
+    onchip_ports,
+)
+from repro.errors import HostError
+
+
+class TestTransferModel:
+    def test_zero_bytes_is_free(self):
+        assert PCI_BUS.transfer_time_s(0) == 0.0
+
+    def test_time_includes_latency(self):
+        model = TransferModel("x", bandwidth_bytes_per_s=1000,
+                              latency_s=0.5)
+        assert model.transfer_time_s(1000) == pytest.approx(1.5)
+
+    def test_cycles_round_up(self):
+        model = TransferModel("x", bandwidth_bytes_per_s=1e9)
+        assert model.transfer_cycles(1, clock_hz=1e6) == 1
+
+    def test_validation(self):
+        with pytest.raises(HostError):
+            TransferModel("x", bandwidth_bytes_per_s=0)
+        with pytest.raises(HostError):
+            TransferModel("x", bandwidth_bytes_per_s=1, latency_s=-1)
+        with pytest.raises(HostError):
+            PCI_BUS.transfer_time_s(-1)
+        with pytest.raises(HostError):
+            PCI_BUS.transfer_cycles(1, clock_hz=0)
+
+
+class TestPaperNumbers:
+    def test_onchip_ring8_is_about_3gb_s(self):
+        """Paper: 'theoretical maximum bandwidth ... about 3 Gbytes/s'."""
+        assert ONCHIP_PORTS.bandwidth_bytes_per_s == pytest.approx(3.2e9)
+
+    def test_pci_is_250mb_s(self):
+        assert PCI_BUS.bandwidth_bytes_per_s == 250e6
+
+    def test_ratio_onchip_vs_pci(self):
+        ratio = ONCHIP_PORTS.bandwidth_bytes_per_s / \
+            PCI_BUS.bandwidth_bytes_per_s
+        assert ratio == pytest.approx(12.8)
+
+    def test_onchip_words_per_cycle_matches_ports(self):
+        assert ONCHIP_PORTS.words_per_cycle() == pytest.approx(8.0)
+
+    def test_onchip_scales_with_ports(self):
+        assert onchip_ports(16).bandwidth_bytes_per_s == \
+            2 * onchip_ports(8).bandwidth_bytes_per_s
+
+    def test_ports_validated(self):
+        with pytest.raises(HostError):
+            onchip_ports(0)
+
+    def test_image_transfer_example(self):
+        """A 64x64 16-bit image over PCI takes ~33 us (paper's Fig. 6
+        prototype moves such images)."""
+        nbytes = 64 * 64 * BYTES_PER_WORD
+        time = PCI_BUS.transfer_time_s(nbytes)
+        assert time == pytest.approx(nbytes / 250e6 + 1e-6)

@@ -1,0 +1,75 @@
+"""Tests for the Fig. 6 word memories."""
+
+import numpy as np
+import pytest
+
+from repro.host.memory import WordMemory
+from repro.errors import HostError
+
+
+class TestBasics:
+    def test_powers_on_zeroed(self):
+        mem = WordMemory(16)
+        assert mem.read(0) == 0
+        assert len(mem) == 16
+
+    def test_write_read(self):
+        mem = WordMemory(16)
+        mem.write(3, 0xBEEF)
+        assert mem.read(3) == 0xBEEF
+
+    def test_bounds(self):
+        mem = WordMemory(4, name="video")
+        with pytest.raises(HostError, match="video"):
+            mem.read(4)
+        with pytest.raises(HostError):
+            mem.write(-1, 0)
+
+    def test_value_canonical(self):
+        with pytest.raises(ValueError):
+            WordMemory(4).write(0, 0x10000)
+
+    def test_size_validated(self):
+        with pytest.raises(HostError):
+            WordMemory(0)
+
+
+class TestBulk:
+    def test_load_returns_count(self):
+        mem = WordMemory(8)
+        assert mem.load([1, 2, 3], base=2) == 3
+        assert mem.dump(2, 3) == [1, 2, 3]
+
+    def test_dump_to_end(self):
+        mem = WordMemory(4)
+        mem.load([9, 9, 9, 9])
+        assert mem.dump(2) == [9, 9]
+
+    def test_dump_bounds(self):
+        with pytest.raises(HostError):
+            WordMemory(4).dump(0, 5)
+
+
+class TestImages:
+    def test_image_roundtrip_signed(self):
+        mem = WordMemory(64)
+        img = np.array([[1, -2], [30000, -30000]])
+        mem.load_image(img)
+        assert np.array_equal(mem.read_image((2, 2)), img)
+
+    def test_image_roundtrip_unsigned(self):
+        mem = WordMemory(64)
+        img = np.array([[0, 65535], [1, 2]], dtype=np.uint16)
+        mem.load_image(img.astype(np.int64))
+        back = mem.read_image((2, 2), signed=False)
+        assert np.array_equal(back, img)
+
+    def test_image_at_base(self):
+        mem = WordMemory(64)
+        img = np.arange(4).reshape(2, 2)
+        mem.load_image(img, base=10)
+        assert np.array_equal(mem.read_image((2, 2), base=10), img)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(HostError):
+            WordMemory(64).load_image(np.arange(4))

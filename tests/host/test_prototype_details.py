@@ -1,0 +1,81 @@
+"""Detail tests for the Fig. 6 prototype internals (VGA model, kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.host.memory import WordMemory
+from repro.host.prototype import (
+    KERNEL_LATENCY,
+    KERNEL_SOURCES,
+    VgaController,
+    assemble_kernel,
+    reference_kernel,
+)
+from repro.errors import HostError
+
+
+class TestVgaController:
+    def _video(self, rows=4, cols=6):
+        video = WordMemory(rows * cols, name="VIDEO")
+        video.load(list(range(rows * cols)))
+        return video, (rows, cols)
+
+    def test_scan_reads_row_major(self):
+        video, shape = self._video()
+        vga = VgaController(video, shape)
+        frame = vga.scan_frame()
+        assert frame.shape == shape
+        assert frame[0, 0] == 0 and frame[3, 5] == 23
+
+    def test_sync_counters_per_frame(self):
+        video, shape = self._video()
+        vga = VgaController(video, shape)
+        vga.scan_frame()
+        assert vga.hsyncs == 4          # one per line
+        assert vga.vsyncs == 1          # one per frame
+        assert vga.pixel_clocks == 24   # one per pixel
+
+    def test_multiple_frames_accumulate(self):
+        video, shape = self._video()
+        vga = VgaController(video, shape)
+        vga.scan_frame()
+        vga.scan_frame()
+        assert vga.vsyncs == 2
+        assert vga.pixel_clocks == 48
+
+    def test_scan_reflects_memory_updates(self):
+        video, shape = self._video()
+        vga = VgaController(video, shape)
+        first = vga.scan_frame()
+        video.write(0, 999)
+        second = vga.scan_frame()
+        assert first[0, 0] == 0 and second[0, 0] == 999
+
+
+class TestKernelSources:
+    def test_each_kernel_assembles(self):
+        for name in KERNEL_SOURCES:
+            obj = assemble_kernel(name)
+            assert obj.initial_plane == 0
+
+    def test_latency_table_covers_all_kernels(self):
+        assert set(KERNEL_LATENCY) == set(KERNEL_SOURCES)
+
+    def test_threshold_substitution(self):
+        obj_low = assemble_kernel("threshold", threshold=10)
+        obj_high = assemble_kernel("threshold", threshold=200)
+        assert obj_low.cfg_rom != obj_high.cfg_rom
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(HostError, match="unknown kernel"):
+            assemble_kernel("emboss")
+
+    def test_reference_kernel_validates(self):
+        with pytest.raises(HostError):
+            reference_kernel(np.zeros((4, 4)), "emboss")
+
+    def test_reference_edge_semantics(self):
+        img = np.array([[10, 15], [20, 7]])
+        out = reference_kernel(img, "edge")
+        # row-major gradient: |10-0|, |15-10|, |20-15|, |7-20|
+        assert out.reshape(-1).tolist() == [10, 5, 5, 13]

@@ -1,0 +1,143 @@
+"""Tests for the RingSystem orchestrator."""
+
+import pytest
+
+from repro.controller.core import RiscController
+from repro.controller.isa import Instruction, ROp
+from repro.core.config_memory import ConfigPlane
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, MicroWord, Opcode, Source, encode
+from repro.core.ring import make_ring
+from repro.core.switch import PortSource, encode_route
+from repro.host.system import RingSystem
+from repro.errors import SimulationError
+
+
+def mov_bus():
+    return MicroWord(Opcode.MOV, Source.BUS, dst=Dest.OUT)
+
+
+class TestUncontrolled:
+    def test_runs_without_controller(self):
+        system = RingSystem(make_ring(4))
+        system.run(3)
+        assert system.cycles == 3
+        assert system.ring.cycles == 3
+
+    def test_run_until_halt_needs_controller(self):
+        with pytest.raises(SimulationError, match="controller"):
+            RingSystem(make_ring(4)).run_until_halt()
+
+    def test_negative_cycles(self):
+        with pytest.raises(SimulationError):
+            RingSystem(make_ring(4)).run(-2)
+
+
+class TestControlled:
+    def test_bus_value_reaches_fabric_same_cycle(self):
+        ring = make_ring(4)
+        ring.config.write_microword(0, 0, mov_bus())
+        ctrl = RiscController([
+            Instruction(ROp.LDI, rd=1, imm=66),
+            Instruction(ROp.BUSW, rs=1),
+            Instruction(ROp.HALT),
+        ])
+        system = RingSystem(ring, ctrl)
+        system.run_until_halt()
+        assert ring.dnode(0, 0).out == 66
+
+    def test_config_command_applied_same_cycle(self):
+        ring = make_ring(4)
+        rom = [encode(MicroWord(Opcode.MOV, Source.IMM, dst=Dest.OUT,
+                                imm=7))]
+        ctrl = RiscController([
+            Instruction(ROp.CFGDI, dnode=0, cfg=0),
+            Instruction(ROp.HALT),
+        ], cfg_rom=rom)
+        system = RingSystem(ring, ctrl)
+        system.step()
+        # the configuration write governs this same fabric cycle
+        assert ring.dnode(0, 0).out == 7
+
+    def test_switch_route_command(self):
+        ring = make_ring(4)
+        rom = [encode_route(PortSource.host(1))]
+        ctrl = RiscController(
+            [Instruction(ROp.CFGS, sw=0, pos=0, port=1, cfg=0),
+             Instruction(ROp.HALT)], cfg_rom=rom)
+        RingSystem(ring, ctrl).run_until_halt()
+        assert ring.switch(0).config.source_for(0, 1) == PortSource.host(1)
+
+    def test_mode_command(self):
+        ring = make_ring(4)
+        ctrl = RiscController([Instruction(ROp.CFGMODE, dnode=3, mode=1),
+                               Instruction(ROp.HALT)])
+        RingSystem(ring, ctrl).run_until_halt()
+        assert ring.dnode(1, 1).mode is DnodeMode.LOCAL
+
+    def test_plane_command(self):
+        ring = make_ring(4)
+        plane = ConfigPlane(microwords={
+            (0, 0): MicroWord(Opcode.MOV, Source.IMM, dst=Dest.OUT, imm=3)
+        })
+        ctrl = RiscController([Instruction(ROp.CFGPLANE, plane=0),
+                               Instruction(ROp.HALT)])
+        system = RingSystem(ring, ctrl, planes=[plane])
+        system.run_until_halt()
+        assert ring.dnode(0, 0).out == 3
+
+    def test_missing_plane_raises(self):
+        ring = make_ring(4)
+        ctrl = RiscController([Instruction(ROp.CFGPLANE, plane=2)])
+        system = RingSystem(ring, ctrl)
+        with pytest.raises(SimulationError, match="plane"):
+            system.step()
+
+    def test_run_until_halt_with_drain(self):
+        ring = make_ring(4)
+        ctrl = RiscController([Instruction(ROp.HALT)])
+        system = RingSystem(ring, ctrl)
+        system.run_until_halt(drain=3)
+        assert system.cycles == 4
+
+    def test_halt_timeout(self):
+        ring = make_ring(4)
+        ctrl = RiscController([Instruction(ROp.JMP, imm=0)])
+        system = RingSystem(ring, ctrl)
+        with pytest.raises(SimulationError, match="halt"):
+            system.run_until_halt(max_cycles=10)
+
+
+class TestTaps:
+    def test_run_until_taps_full(self):
+        ring = make_ring(4)
+        ring.config.write_microword(0, 0, MicroWord(
+            Opcode.MOV, Source.IMM, dst=Dest.OUT, imm=1))
+        system = RingSystem(ring)
+        tap = system.data.add_tap(0, 0, limit=5)
+        cycles = system.run_until_taps_full()
+        assert cycles == 5
+        assert tap.samples == [1] * 5
+
+    def test_taps_full_requires_limited_tap(self):
+        system = RingSystem(make_ring(4))
+        system.data.add_tap(0, 0)  # unlimited
+        with pytest.raises(SimulationError, match="limit"):
+            system.run_until_taps_full()
+
+    def test_taps_full_timeout(self):
+        system = RingSystem(make_ring(4))
+        system.data.add_tap(0, 0, limit=5, skip=100)
+        with pytest.raises(SimulationError, match="taps"):
+            system.run_until_taps_full(max_cycles=10)
+
+    def test_streams_advance_each_cycle(self):
+        ring = make_ring(4)
+        ring.config.write_switch_route(0, 0, 1, PortSource.host(0))
+        ring.config.write_microword(0, 0, MicroWord(
+            Opcode.MOV, Source.IN1, dst=Dest.OUT))
+        system = RingSystem(ring)
+        system.data.stream(0, [5, 6, 7])
+        tap = system.data.add_tap(0, 0)
+        system.run(3)
+        assert tap.samples == [5, 6, 7]

@@ -1,0 +1,109 @@
+"""Global vs local vs hybrid execution-mode equivalence.
+
+The paper's multi-level reconfiguration claims the same computation can
+run (a) entirely under RISC control with per-cycle microword rewrites
+(global mode / hardware multiplexing), (b) entirely stand-alone from the
+local sequencers, or (c) mixed.  These tests run one kernel — an
+alternating absdiff/accumulate loop — all three ways and require
+identical results, then compare the controller traffic, which is the
+architectural point: local mode removes the per-cycle configuration
+stream.
+"""
+
+import pytest
+
+from repro.controller.core import RiscController
+from repro.controller.isa import Instruction, ROp
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source, encode
+from repro.core.ring import make_ring
+from repro.host.system import RingSystem
+
+PAIRS = [(10, 3), (200, 90), (7, 7), (50, 64), (0, 255), (31, 2)]
+
+ABSDIFF = MicroWord(Opcode.ABSDIFF, Source.FIFO1, Source.FIFO2, Dest.R1,
+                    flags=Flag.POP_FIFO1 | Flag.POP_FIFO2)
+ACCUM = MicroWord(Opcode.ADD, Source.R0, Source.R1, Dest.R0)
+
+EXPECTED = sum(abs(a - b) for a, b in PAIRS)
+
+
+def _loaded_ring():
+    ring = make_ring(8)
+    ring.push_fifo(0, 0, 1, [a for a, _ in PAIRS])
+    ring.push_fifo(0, 0, 2, [b for _, b in PAIRS])
+    return ring
+
+
+def test_local_mode_stand_alone():
+    ring = _loaded_ring()
+    ring.config.write_local_program(0, 0, [ABSDIFF, ACCUM])
+    ring.config.write_mode(0, 0, DnodeMode.LOCAL)
+    ring.run(2 * len(PAIRS))
+    assert ring.dnode(0, 0).regs.read(0) == EXPECTED
+    # no controller, no configuration traffic while running
+    assert ring.config.writes == 4  # just the preload (program + mode)
+
+
+def _global_mode_program(rom_nop: int = 2):
+    """CFGDI per cycle, then park the Dnode on a NOP before halting —
+    otherwise the last ACCUM word would stay active during the HALT
+    cycle and execute once more."""
+    body = []
+    for _ in PAIRS:
+        body.append(Instruction(ROp.CFGDI, dnode=0, cfg=0))
+        body.append(Instruction(ROp.CFGDI, dnode=0, cfg=1))
+    body.append(Instruction(ROp.CFGDI, dnode=0, cfg=rom_nop))
+    body.append(Instruction(ROp.HALT))
+    return body
+
+
+def test_global_mode_hardware_multiplexing():
+    """The controller rewrites the Dnode's function every cycle."""
+    ring = _loaded_ring()
+    rom = [encode(ABSDIFF), encode(ACCUM), encode(MicroWord())]
+    system = RingSystem(ring, RiscController(_global_mode_program(),
+                                             cfg_rom=rom))
+    system.run_until_halt()
+    assert ring.dnode(0, 0).regs.read(0) == EXPECTED
+    # one configuration word per fabric cycle: the global-mode cost
+    assert system.controller.state.config_commands == 2 * len(PAIRS) + 1
+
+
+def test_hybrid_mode():
+    """The Dnode computes stand-alone (local) while the controller waits,
+    then the controller flips it to global mode to flush the accumulator
+    onto OUT — the flush pattern the motion-estimation mapping uses."""
+    ring = _loaded_ring()
+    ring.config.write_local_program(0, 0, [ABSDIFF, ACCUM])
+    ring.config.write_mode(0, 0, DnodeMode.LOCAL)
+    flush = MicroWord(Opcode.MOV, Source.R0, dst=Dest.OUT)
+    rom = [encode(flush)]
+    program = [
+        Instruction(ROp.WAITI, imm=2 * len(PAIRS)),
+        Instruction(ROp.CFGMODE, dnode=0, mode=0),
+        Instruction(ROp.CFGDI, dnode=0, cfg=0),
+        Instruction(ROp.HALT),
+    ]
+    system = RingSystem(ring, RiscController(program, cfg_rom=rom))
+    system.run_until_halt(drain=1)
+    assert ring.dnode(0, 0).out == EXPECTED
+    # far less controller traffic than pure global mode
+    assert system.controller.state.config_commands < len(PAIRS)
+
+
+def test_all_modes_agree():
+    results = []
+    for mode in ("local", "global"):
+        ring = _loaded_ring()
+        if mode == "local":
+            ring.config.write_local_program(0, 0, [ABSDIFF, ACCUM])
+            ring.config.write_mode(0, 0, DnodeMode.LOCAL)
+            ring.run(2 * len(PAIRS))
+        else:
+            rom = [encode(ABSDIFF), encode(ACCUM), encode(MicroWord())]
+            RingSystem(ring, RiscController(_global_mode_program(),
+                                            cfg_rom=rom)) \
+                .run_until_halt()
+        results.append(ring.dnode(0, 0).regs.read(0))
+    assert results[0] == results[1] == EXPECTED

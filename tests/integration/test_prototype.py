@@ -1,0 +1,75 @@
+"""Tests for the Fig. 6 APEX prototype emulation."""
+
+import numpy as np
+import pytest
+
+from repro.host.prototype import (
+    IMAGE_SIDE,
+    assemble_kernel,
+    reference_kernel,
+    run_prototype,
+)
+from repro.errors import HostError
+
+
+@pytest.fixture
+def picture(rng):
+    return rng.integers(0, 256, (IMAGE_SIDE, IMAGE_SIDE))
+
+
+class TestKernels:
+    @pytest.mark.parametrize("operation", ["invert", "threshold", "edge"])
+    def test_framebuffer_matches_reference(self, picture, operation):
+        result = run_prototype(picture, operation)
+        expected = reference_kernel(picture, operation)
+        assert np.array_equal(result.framebuffer, expected)
+
+    def test_threshold_level(self, picture):
+        result = run_prototype(picture, "threshold", threshold=200)
+        expected = reference_kernel(picture, "threshold", threshold=200)
+        assert np.array_equal(result.framebuffer, expected)
+
+    def test_small_image(self, rng):
+        img = rng.integers(0, 256, (8, 8))
+        result = run_prototype(img, "invert")
+        assert np.array_equal(result.framebuffer, 255 - img)
+
+    def test_unknown_kernel(self, picture):
+        with pytest.raises(HostError, match="unknown kernel"):
+            run_prototype(picture, "sharpen")
+
+    def test_pixel_range_validated(self):
+        with pytest.raises(HostError, match="8-bit"):
+            run_prototype(np.full((4, 4), 300), "invert")
+
+    def test_requires_2d(self):
+        with pytest.raises(HostError):
+            run_prototype(np.arange(16), "invert")
+
+
+class TestBoardBehaviour:
+    def test_prg_holds_generated_object_code(self, picture):
+        result = run_prototype(picture, "invert")
+        blob = bytes(result.prg.dump(0, len(result.prg)))
+        from repro.asm.objcode import ObjectCode
+
+        obj = ObjectCode.from_bytes(blob)
+        assert obj.layers == 4 and obj.width == 2
+
+    def test_throughput_one_pixel_per_cycle(self, picture):
+        result = run_prototype(picture, "invert")
+        pixels = IMAGE_SIDE * IMAGE_SIDE
+        assert result.cycles == pixels + 1  # + pipeline latency
+
+    def test_vga_scanned_one_frame(self, picture):
+        result = run_prototype(picture, "edge")
+        assert result.frames_scanned == 1
+
+    def test_video_memory_holds_output(self, picture):
+        result = run_prototype(picture, "invert")
+        assert result.video.read(0) == (255 - picture[0, 0]) & 0xFFFF
+
+    def test_assemble_kernel_standalone(self):
+        obj = assemble_kernel("edge")
+        assert obj.initial_plane == 0
+        assert len(obj.cfg_rom) > 0

@@ -1,0 +1,77 @@
+"""Large-fabric smoke tests: the simulator handles the paper's upper
+sizes (Ring-64 of Fig. 7, and a Ring-256 — the size the paper argues
+needs multi-level reconfiguration)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mips import measured_mips, ring_peak_mips
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry, make_ring
+
+
+class TestRing64:
+    def test_fig7_fabric_runs_fully_busy(self):
+        ring = make_ring(64)
+        for dn in ring.all_dnodes():
+            ring.config.write_microword(dn.layer, dn.position, MicroWord(
+                Opcode.MAC, Source.ZERO, Source.ZERO, Dest.R0))
+        ring.run(50)
+        assert measured_mips(ring) == pytest.approx(ring_peak_mips(64))
+
+    def test_motion_estimation_on_ring64(self, rng):
+        from repro.kernels.motion_estimation import full_search_me
+        from repro.kernels.reference import full_search
+
+        ref = rng.integers(0, 256, (4, 4))
+        area = rng.integers(0, 256, (10, 10))
+        _, _, expected = full_search(ref, area)
+        result = full_search_me(ref, area, dnodes=64)
+        assert np.array_equal(result.sad_map, expected)
+        # more Dnodes -> fewer batches -> fewer cycles
+        assert result.cycles < full_search_me(ref, area,
+                                              dnodes=16).cycles
+
+
+class TestRing256:
+    def test_fabric_instantiates_and_runs(self):
+        ring = make_ring(256)
+        assert ring.geometry.layers == 128
+        # a 256-stage pass-around token ring
+        from repro.core.switch import PortSource
+
+        for k in range(128):
+            ring.config.write_switch_route(k, 0, 1, PortSource.up(0))
+            ring.config.write_microword(k, 0, MicroWord(
+                Opcode.ADD, Source.IN1, Source.IMM, Dest.OUT, imm=1))
+        ring.dnode(127, 0)._out = 0
+        ring.run(128)
+        # the token gained +1 at each of the 128 layers
+        assert ring.dnode(127, 0).out == 128
+
+    def test_local_mode_at_scale(self):
+        """256 stand-alone MAC units with zero controller traffic."""
+        ring = make_ring(256)
+        program = [MicroWord(Opcode.MAC, Source.FIFO1, Source.FIFO2,
+                             Dest.R0,
+                             flags=Flag.POP_FIFO1 | Flag.POP_FIFO2)]
+        for dn in ring.all_dnodes():
+            ring.config.write_local_program(dn.layer, dn.position,
+                                            program)
+            ring.config.write_mode(dn.layer, dn.position, DnodeMode.LOCAL)
+            ring.push_fifo(dn.layer, dn.position, 1, [2] * 10)
+            ring.push_fifo(dn.layer, dn.position, 2, [3] * 10)
+        writes_before = ring.config.writes
+        ring.run(10)
+        assert ring.config.writes == writes_before
+        assert all(dn.regs.read(0) == 60 for dn in ring.all_dnodes())
+        # peak of the paper's scaling table: 51.2 GOPS-equivalent
+        assert measured_mips(ring) == pytest.approx(51_200.0)
+
+    def test_area_report_at_scale(self):
+        from repro.tech.area import core_area_mm2
+
+        report = core_area_mm2(RingGeometry.ring(256), "0.18um")
+        assert report.overhead_fraction < 0.25
+        assert report.total_mm2 == pytest.approx(12.8, rel=0.05)

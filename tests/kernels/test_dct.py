@@ -1,0 +1,101 @@
+"""Tests for the 8-point DCT kernel (local-sequencer showcase)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.kernels.dct import (
+    BASIS,
+    N,
+    SCALE,
+    build_dct_system,
+    coefficient_program,
+    dct8_fabric,
+    dct8_float,
+    dct8_reference,
+)
+
+pixel_groups = st.lists(st.integers(min_value=-255, max_value=255),
+                        min_size=8, max_size=8)
+
+
+class TestBasis:
+    def test_shape_and_scale(self):
+        assert len(BASIS) == N
+        assert all(len(row) == N for row in BASIS)
+        assert all(abs(c) <= SCALE for row in BASIS for c in row)
+
+    def test_dc_row_is_constant(self):
+        assert len(set(BASIS[0])) == 1
+
+    def test_rows_nearly_orthogonal(self):
+        m = np.array(BASIS, dtype=float)
+        gram = m @ m.T
+        off = gram - np.diag(np.diag(gram))
+        assert np.max(np.abs(off)) < 0.05 * np.max(np.diag(gram))
+
+    def test_no_16bit_overflow_possible(self):
+        worst = max(sum(abs(c) for c in row) * 255 for row in BASIS)
+        assert worst <= 32767
+
+
+class TestReference:
+    def test_dc_of_constant_signal(self):
+        out = dct8_reference([100] * 8)
+        assert out[1:] == [0] * 7
+        assert out[0] == BASIS[0][0] * 8 * 100
+
+    @given(pixel_groups)
+    @settings(max_examples=50)
+    def test_close_to_float_transform(self, samples):
+        fixed = np.array(dct8_reference(samples)) / SCALE
+        exact = np.array(dct8_float(samples))
+        assert np.max(np.abs(fixed - exact)) <= 8 * 0.5 * 255 / SCALE
+
+    def test_length_validated(self):
+        with pytest.raises(SimulationError):
+            dct8_reference([1, 2, 3])
+
+
+class TestFabric:
+    def test_single_group(self, rng):
+        samples = [int(v) for v in rng.integers(-255, 256, 8)]
+        result = dct8_fabric(samples)
+        assert result.coefficients[0].tolist() == dct8_reference(samples)
+
+    def test_streamed_groups(self, rng):
+        samples = [int(v) for v in rng.integers(-255, 256, 40)]
+        result = dct8_fabric(samples)
+        for g in range(5):
+            assert result.coefficients[g].tolist() == \
+                dct8_reference(samples[g * 8:(g + 1) * 8])
+
+    def test_one_sample_per_cycle(self, rng):
+        samples = [int(v) for v in rng.integers(0, 256, 32)]
+        result = dct8_fabric(samples)
+        assert result.cycles == len(samples)
+        assert result.samples_per_cycle == 1.0
+
+    def test_uses_eight_dnodes_stand_alone(self, rng):
+        samples = [int(v) for v in rng.integers(0, 256, 8)]
+        assert dct8_fabric(samples).dnodes_used == 8
+
+    def test_program_fills_all_slots(self):
+        for k in range(N):
+            assert len(coefficient_program(k)) == 8
+
+    def test_group_multiple_validated(self):
+        with pytest.raises(SimulationError, match="multiple"):
+            dct8_fabric([1] * 12)
+
+    def test_small_ring_rejected(self):
+        from repro.core.ring import Ring, RingGeometry
+        with pytest.raises(SimulationError, match="layers"):
+            build_dct_system(Ring(RingGeometry.ring(8)))
+
+    @given(pixel_groups)
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_reference(self, samples):
+        result = dct8_fabric(samples)
+        assert result.coefficients[0].tolist() == dct8_reference(samples)

@@ -1,0 +1,111 @@
+"""Tests for the kernel extensions: multilevel DWT and frame motion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels.motion_estimation import estimate_frame_motion
+from repro.kernels.reference import (
+    dwt53_2d_multilevel,
+    idwt53_2d_multilevel,
+)
+from repro.kernels.wavelet import (
+    dwt53_2d_multilevel_fabric,
+    wavelet_cycle_model,
+)
+
+
+class TestMultilevelDwtReference:
+    def test_one_level_equals_single(self, rng):
+        from repro.kernels.reference import dwt53_2d
+
+        img = rng.integers(0, 256, (8, 8))
+        assert np.array_equal(dwt53_2d_multilevel(img, 1), dwt53_2d(img))
+
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_perfect_reconstruction(self, rng, levels):
+        img = rng.integers(-500, 500, (16, 16))
+        pyramid = dwt53_2d_multilevel(img, levels)
+        assert np.array_equal(idwt53_2d_multilevel(pyramid, levels), img)
+
+    def test_deeper_levels_only_touch_ll(self, rng):
+        img = rng.integers(0, 256, (16, 16))
+        one = dwt53_2d_multilevel(img, 1)
+        two = dwt53_2d_multilevel(img, 2)
+        assert np.array_equal(one[8:, :], two[8:, :])
+        assert np.array_equal(one[:8, 8:], two[:8, 8:])
+
+    def test_too_deep_rejected(self, rng):
+        img = rng.integers(0, 256, (4, 4))
+        with pytest.raises(SimulationError, match="split"):
+            dwt53_2d_multilevel(img, 3)
+
+    def test_levels_validated(self, rng):
+        img = rng.integers(0, 256, (4, 4))
+        with pytest.raises(SimulationError):
+            dwt53_2d_multilevel(img, 0)
+
+
+class TestMultilevelDwtFabric:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_matches_reference(self, rng, levels):
+        img = rng.integers(0, 256, (16, 16))
+        fabric, _ = dwt53_2d_multilevel_fabric(img, levels)
+        assert np.array_equal(fabric, dwt53_2d_multilevel(img, levels))
+
+    def test_cycle_model_matches(self, rng):
+        img = rng.integers(0, 256, (16, 16))
+        _, cycles = dwt53_2d_multilevel_fabric(img, 2)
+        assert cycles == wavelet_cycle_model(16, 16, levels=2)
+
+    def test_dyadic_cost_series(self):
+        """Deeper pyramids converge to ~4/3 of one level's cost."""
+        one = wavelet_cycle_model(512, 512, levels=1)
+        five = wavelet_cycle_model(512, 512, levels=5)
+        assert five / one == pytest.approx(4 / 3, rel=0.02)
+
+
+class TestFrameMotion:
+    def test_recovers_uniform_shift(self, rng):
+        """A shifted frame (valid-region check) yields the true motion
+        vector on interior blocks."""
+        base = rng.integers(0, 256, (24, 24))
+        prev = base
+        cur = np.zeros_like(base)
+        # shift content down by 2, right by 1 (borders copied: ignore)
+        cur[2:, 1:] = base[:-2, :-1]
+        cur[:2, :] = base[:2, :]
+        cur[:, :1] = base[:, :1]
+        result = estimate_frame_motion(prev, cur, block=8, displacement=4)
+        # interior block (1,1) must see displacement (-2, -1)
+        assert tuple(result.vectors[1, 1]) == (-2, -1)
+        assert result.sads[1, 1] == 0
+
+    def test_identity_frames_zero_motion(self, rng):
+        frame = rng.integers(0, 256, (16, 16))
+        result = estimate_frame_motion(frame, frame, block=8,
+                                       displacement=2)
+        assert np.all(result.vectors == 0)
+        assert np.all(result.sads == 0)
+
+    def test_block_grid_shape(self, rng):
+        frame = rng.integers(0, 256, (16, 24))
+        result = estimate_frame_motion(frame, frame, block=8,
+                                       displacement=2)
+        assert result.blocks == (2, 3)
+        assert result.vectors.shape == (2, 3, 2)
+
+    def test_cycles_accumulate(self, rng):
+        frame = rng.integers(0, 256, (16, 16))
+        result = estimate_frame_motion(frame, frame, block=8,
+                                       displacement=2)
+        assert result.cycles > 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError, match="shapes"):
+            estimate_frame_motion(np.zeros((8, 8)), np.zeros((8, 16)))
+
+    def test_block_divisibility(self):
+        with pytest.raises(SimulationError, match="multiple"):
+            estimate_frame_motion(np.zeros((10, 10)), np.zeros((10, 10)),
+                                  block=8)

@@ -1,0 +1,58 @@
+"""Tests for the FIFO / delay-line macro-operator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels.fifo_emulation import (
+    build_delay_line,
+    delay_line,
+    plan_delay,
+)
+
+SIGNAL = [5, 3, -2, 7, 1, -4, 6, 2]
+
+
+class TestPlan:
+    def test_depth_one_needs_two_hops(self):
+        plan = plan_delay(1)
+        assert plan.taps_per_hop == [1, 1]
+        assert plan.dnodes_used == 2
+
+    def test_total_latency_is_depth_plus_one(self):
+        for depth in range(1, 20):
+            plan = plan_delay(depth)
+            assert sum(plan.taps_per_hop) == depth + 1
+
+    def test_pipeline_taps_save_dnodes(self):
+        # 12 cycles of delay in 4 Dnodes instead of 13
+        assert plan_delay(12).dnodes_used == 4
+
+    def test_first_hop_is_direct(self):
+        for depth in (1, 5, 9):
+            assert plan_delay(depth).taps_per_hop[0] == 1
+
+    def test_depth_validated(self):
+        with pytest.raises(ConfigurationError):
+            plan_delay(0)
+
+
+class TestDelayLine:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4, 5, 7, 12])
+    def test_output_is_delayed_input(self, depth):
+        out = delay_line(SIGNAL, depth)
+        assert out == ([0] * depth + SIGNAL)[:len(SIGNAL)]
+
+    def test_ring_too_short_rejected(self):
+        from repro.core.ring import Ring, RingGeometry
+        ring = Ring(RingGeometry.ring(4))   # 2 layers
+        with pytest.raises(ConfigurationError, match="layers"):
+            build_delay_line(20, ring)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100),
+                    min_size=1, max_size=16),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_fifo_semantics(self, signal, depth):
+        out = delay_line(signal, depth)
+        assert out == ([0] * depth + signal)[:len(signal)]

@@ -1,0 +1,140 @@
+"""Tests for the FIR fabric mappings against the golden reference."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ring import Ring, RingGeometry
+from repro.errors import ConfigurationError
+from repro.kernels.fir import shared_fir, shared_fir_program, spatial_fir
+from repro.kernels.reference import fir as ref_fir
+
+SIGNAL = [3, -1, 4, 1, -5, 9, 2, -6, 5, 3, 5, -8, 9, 7]
+
+taps_lists = st.lists(st.integers(min_value=-8, max_value=8),
+                      min_size=1, max_size=4)
+small_signals = st.lists(st.integers(min_value=-50, max_value=50),
+                         min_size=1, max_size=24)
+
+
+class TestSpatialFir:
+    @pytest.mark.parametrize("taps", [
+        [1], [2, -3], [1, 2, 3], [2, -3, 1, 4],
+        [1, 2, 3, 4, 5, 6, 7, 8],
+    ])
+    def test_matches_reference(self, taps):
+        result = spatial_fir(taps, SIGNAL)
+        assert result.outputs == ref_fir(SIGNAL, taps)
+
+    def test_one_sample_per_cycle(self):
+        result = spatial_fir([1, 2, 3], SIGNAL)
+        assert result.samples_per_cycle == 1.0
+        assert result.cycles_per_sample == 1.0
+
+    def test_uses_two_dnodes_per_tap(self):
+        result = spatial_fir([1, 2, 3], SIGNAL)
+        assert result.dnodes_used == 6
+
+    def test_too_many_taps_for_ring(self):
+        ring = Ring(RingGeometry.ring(8))  # 4 layers
+        with pytest.raises(ConfigurationError, match="1..4"):
+            spatial_fir([1] * 5, SIGNAL, ring=ring)
+
+    def test_impulse_recovers_taps(self):
+        taps = [5, -2, 7, 1]
+        impulse = [1] + [0] * 7
+        assert spatial_fir(taps, impulse).outputs[:4] == taps
+
+    @given(taps_lists, small_signals)
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, taps, signal):
+        assert spatial_fir(taps, signal).outputs == ref_fir(signal, taps)
+
+
+class TestSharedFir:
+    @pytest.mark.parametrize("taps", [[1], [2, -3], [1, 2, 3],
+                                      [2, -3, 1, 4]])
+    def test_matches_reference(self, taps):
+        result = shared_fir(taps, SIGNAL)
+        assert result.outputs == ref_fir(SIGNAL, taps)
+
+    def test_single_dnode(self):
+        assert shared_fir([1, 2], SIGNAL).dnodes_used == 1
+
+    def test_throughput_is_2t_minus_1(self):
+        for t in (2, 3, 4):
+            result = shared_fir(list(range(1, t + 1)), SIGNAL)
+            assert result.cycles_per_sample == 2 * t - 1
+
+    def test_program_fits_local_slots(self):
+        for t in (1, 2, 3, 4):
+            program = shared_fir_program([1] * t)
+            assert len(program) <= 8
+
+    def test_rejects_more_than_4_taps(self):
+        with pytest.raises(ConfigurationError, match="1..4"):
+            shared_fir([1] * 5, SIGNAL)
+
+    @given(taps_lists, small_signals)
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_reference(self, taps, signal):
+        assert shared_fir(taps, signal).outputs == ref_fir(signal, taps)
+
+
+class TestResourceSharingTradeoff:
+    def test_shared_uses_fewer_dnodes_but_more_cycles(self):
+        """The paper's resource-sharing argument: a 4-tap RIF on one
+        Dnode instead of eight, at 1/7th the throughput."""
+        taps = [2, -3, 1, 4]
+        spatial = spatial_fir(taps, SIGNAL)
+        shared = shared_fir(taps, SIGNAL)
+        assert shared.outputs == spatial.outputs
+        assert shared.dnodes_used == 1
+        assert spatial.dnodes_used == 8
+        assert shared.cycles_per_sample == 7
+        assert spatial.cycles_per_sample == 1
+
+
+class TestInterleavedFir:
+    """Two independent filters multiplexed on one Dnode — the
+    'multi-standard' operating mode."""
+
+    def test_both_channels_match_reference(self):
+        from repro.kernels.fir import interleaved_fir
+
+        sig_a = [3, -1, 4, 1, -5, 9]
+        sig_b = [2, 7, -3, 0, 8, -2]
+        out_a, out_b = interleaved_fir([2, -3], [1, 4], sig_a, sig_b)
+        assert out_a == ref_fir(sig_a, [2, -3])
+        assert out_b == ref_fir(sig_b, [1, 4])
+
+    def test_single_dnode_six_cycles_per_pair(self):
+        from repro.core.ring import make_ring
+        from repro.kernels.fir import interleaved_fir
+
+        ring = make_ring(4)
+        sig = [1, 2, 3]
+        interleaved_fir([1, 0], [0, 1], sig, sig, ring=ring)
+        assert ring.cycles == 6 * len(sig)
+
+    def test_channels_are_independent(self):
+        from repro.kernels.fir import interleaved_fir
+
+        sig_a = [10, 20, 30, 40]
+        zeros = [0, 0, 0, 0]
+        out_a, out_b = interleaved_fir([1, 1], [1, 1], sig_a, zeros)
+        assert out_a == ref_fir(sig_a, [1, 1])
+        assert out_b == [0, 0, 0, 0]
+
+    def test_requires_two_tap_filters(self):
+        from repro.kernels.fir import interleaved_fir_program
+
+        with pytest.raises(ConfigurationError, match="1..2 taps"):
+            interleaved_fir_program([1, 2, 3], [1, 2])
+        with pytest.raises(ConfigurationError, match="2-tap"):
+            interleaved_fir_program([1], [1, 2])
+
+    def test_equal_lengths_required(self):
+        from repro.kernels.fir import interleaved_fir
+
+        with pytest.raises(ConfigurationError, match="equal length"):
+            interleaved_fir([1, 1], [1, 1], [1, 2], [1])

@@ -1,0 +1,108 @@
+"""Tests for the IIR and MAC macro-operator kernels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.iir import first_order_iir, mac_accumulate
+from repro.kernels.reference import iir_first_order
+
+SIGNAL = [5, 3, -2, 7, 1, -4, 6, 2]
+
+
+class TestFirstOrderIir:
+    def test_integrator(self):
+        result = first_order_iir([1] * 6, b0=1, a1=1)
+        assert result.outputs == [1, 2, 3, 4, 5, 6]
+
+    def test_matches_reference(self):
+        result = first_order_iir(SIGNAL, b0=3, a1=1)
+        assert result.outputs == iir_first_order(SIGNAL, 3, 1)
+
+    def test_negative_feedback(self):
+        result = first_order_iir(SIGNAL, b0=2, a1=-1)
+        assert result.outputs == iir_first_order(SIGNAL, 2, -1)
+
+    def test_two_dnodes_one_sample_per_cycle(self):
+        result = first_order_iir(SIGNAL, b0=1, a1=1)
+        assert result.dnodes_used == 2
+        # 1 sample/cycle + 2-stage latency
+        assert result.cycles == len(SIGNAL) + 2
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20),
+                    min_size=1, max_size=12),
+           st.integers(min_value=-3, max_value=3),
+           st.sampled_from([-1, 0, 1]))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_reference(self, signal, b0, a1):
+        result = first_order_iir(signal, b0=b0, a1=a1)
+        assert result.outputs == iir_first_order(signal, b0, a1)
+
+
+class TestMacAccumulate:
+    def test_dot_product(self):
+        assert mac_accumulate([1, 2, 3], [4, 5, 6]) == 32
+
+    def test_negative_values(self):
+        assert mac_accumulate([-1, 2], [3, -4]) == -11
+
+    def test_single_element(self):
+        assert mac_accumulate([7], [6]) == 42
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mac_accumulate([1, 2], [1])
+
+    @given(st.lists(st.integers(min_value=-30, max_value=30), min_size=1,
+                    max_size=20),
+           st.integers(min_value=-30, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_property_dot_product(self, a, scale):
+        b = [scale] * len(a)
+        assert mac_accumulate(a, b) == sum(x * scale for x in a)
+
+    def test_one_mac_per_cycle(self):
+        """The paper's single-cycle MAC claim: n products in n cycles."""
+        from repro.core.ring import make_ring
+        ring = make_ring(4)
+        mac_accumulate(list(range(1, 11)), list(range(1, 11)), ring=ring)
+        assert ring.cycles == 10
+
+
+class TestBiquad:
+    def test_impulse_response(self):
+        from repro.kernels.iir import biquad, reference_biquad
+
+        # y[n] = x[n] + y[n-1] - ... a simple resonator
+        sig = [8] + [0] * 7
+        result = biquad(sig, b0=1, a1=1, a2=-1)
+        assert result.outputs == reference_biquad(sig, 1, 1, -1)
+        # known recursion: 8, 8, 0, -8, -8, 0, 8, 8 (period-6 rotation)
+        assert result.outputs == [8, 8, 0, -8, -8, 0, 8, 8]
+
+    def test_matches_reference(self):
+        from repro.kernels.iir import biquad, reference_biquad
+
+        sig = [5, 3, -2, 7, 1, -4, 6, 2]
+        result = biquad(sig, b0=2, a1=1, a2=-1)
+        assert result.outputs == reference_biquad(sig, 2, 1, -1)
+
+    def test_single_dnode_five_cycles_per_sample(self):
+        from repro.kernels.iir import biquad
+
+        sig = [1, 2, 3, 4]
+        result = biquad(sig, b0=1, a1=0, a2=0)
+        assert result.dnodes_used == 1
+        assert result.cycles == 5 * len(sig)
+
+    def test_degenerates_to_first_order(self):
+        from repro.kernels.iir import biquad
+        from repro.kernels.reference import iir_first_order
+
+        sig = [3, -1, 4, 1, -5]
+        result = biquad(sig, b0=3, a1=1, a2=0)
+        assert result.outputs == iir_first_order(sig, 3, 1)
+
+    def test_program_is_five_slots(self):
+        from repro.kernels.iir import biquad_program
+
+        assert len(biquad_program(1, 2, 3)) == 5

@@ -1,0 +1,111 @@
+"""Tests for the streaming matrix-vector engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.kernels.matrix import (
+    MatVecResult,
+    build_matvec_system,
+    matvec_fabric,
+    matvec_reference,
+    row_program,
+)
+
+
+class TestReference:
+    def test_identity(self):
+        eye = np.eye(4, dtype=int)
+        assert matvec_reference(eye, [1, 2, 3, 4]) == [1, 2, 3, 4]
+
+    def test_matches_numpy_in_range(self, rng):
+        m = rng.integers(-10, 11, (4, 6))
+        v = [int(x) for x in rng.integers(-20, 21, 6)]
+        assert matvec_reference(m, v) == (m @ v).tolist()
+
+
+class TestRowProgram:
+    def test_slot_count_equals_columns(self):
+        for cols in range(1, 9):
+            assert len(row_program([1] * cols)) == cols
+
+    def test_too_many_columns(self):
+        with pytest.raises(SimulationError):
+            row_program([1] * 9)
+
+
+class TestFabric:
+    def test_identity_matrix(self):
+        eye = np.eye(4, dtype=int)
+        result = matvec_fabric(eye, [[5, -3, 7, 2]])
+        assert result.products[0].tolist() == [5, -3, 7, 2]
+
+    def test_matches_reference(self, rng):
+        m = rng.integers(-15, 16, (5, 7))
+        vectors = [list(map(int, rng.integers(-30, 31, 7)))
+                   for _ in range(4)]
+        result = matvec_fabric(m, vectors)
+        for i, v in enumerate(vectors):
+            assert result.products[i].tolist() == matvec_reference(m, v)
+
+    def test_one_element_per_cycle(self, rng):
+        m = rng.integers(-5, 6, (3, 8))
+        vectors = [list(map(int, rng.integers(-5, 6, 8)))
+                   for _ in range(5)]
+        result = matvec_fabric(m, vectors)
+        assert result.cycles == 5 * 8
+        assert result.dnodes_used == 3
+
+    def test_rotation_matrix_application(self):
+        """A scaled Givens rotation: x'^2+y'^2 ~ scale^2 (x^2+y^2)."""
+        import math
+        scale = 64
+        theta = math.pi / 6
+        rot = [[round(scale * math.cos(theta)),
+                -round(scale * math.sin(theta))],
+               [round(scale * math.sin(theta)),
+                round(scale * math.cos(theta))]]
+        result = matvec_fabric(np.array(rot), [[30, 40]])
+        x, y = result.products[0] / scale
+        assert math.hypot(x, y) == pytest.approx(50, rel=0.02)
+
+    def test_single_column_matrix(self):
+        result = matvec_fabric(np.array([[3], [5]]), [[7]])
+        assert result.products[0].tolist() == [21, 35]
+
+    def test_validation(self, rng):
+        with pytest.raises(SimulationError, match="2-D"):
+            build_matvec_system(np.arange(4))
+        with pytest.raises(SimulationError, match="columns"):
+            build_matvec_system(rng.integers(0, 5, (2, 9)))
+        with pytest.raises(SimulationError, match="vector length"):
+            matvec_fabric(np.eye(2, dtype=int), [[1, 2, 3]])
+        with pytest.raises(SimulationError, match="at least one"):
+            matvec_fabric(np.eye(2, dtype=int), [])
+
+    def test_too_many_rows_for_ring(self, rng):
+        from repro.core.ring import Ring, RingGeometry
+
+        ring = Ring(RingGeometry.ring(4))  # 2 layers
+        with pytest.raises(SimulationError, match="rows"):
+            build_matvec_system(rng.integers(0, 3, (3, 4)), ring)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_property_matches_reference(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(-12, 13, (rows, cols))
+        v = [int(x) for x in rng.integers(-25, 26, cols)]
+        result = matvec_fabric(m, [v])
+        assert result.products[0].tolist() == matvec_reference(m, v)
+
+    def test_dct_is_a_special_case(self, rng):
+        """The DCT bank is this engine with the DCT basis matrix."""
+        from repro.kernels.dct import BASIS, dct8_reference
+
+        samples = [int(v) for v in rng.integers(-255, 256, 8)]
+        result = matvec_fabric(np.array(BASIS), [samples])
+        assert result.products[0].tolist() == dct8_reference(samples)

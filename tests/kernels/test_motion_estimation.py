@@ -1,0 +1,105 @@
+"""Tests for the full-search motion-estimation mapping (Table 1 kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels.motion_estimation import (
+    build_me_system,
+    cycle_model,
+    full_search_me,
+)
+from repro.kernels.reference import full_search
+
+
+class TestCorrectness:
+    def test_small_case_bit_exact(self, rng):
+        ref = rng.integers(0, 256, (4, 4))
+        area = rng.integers(0, 256, (8, 8))
+        expected_best, expected_sad, expected_map = full_search(ref, area)
+        result = full_search_me(ref, area)
+        assert np.array_equal(result.sad_map, expected_map)
+        assert result.best == expected_best
+        assert result.best_sad == expected_sad
+
+    def test_exact_match_is_found(self, rng):
+        area = rng.integers(0, 256, (12, 12))
+        ref = area[2:6, 3:7].copy()
+        result = full_search_me(ref, area)
+        assert result.best_sad == 0
+        assert result.best == (2, 3)
+
+    def test_paper_workload_bit_exact(self, rng):
+        """The Table 1 case: 8x8 block, +/-8 displacement (289
+        candidates) on a Ring-16."""
+        ref = rng.integers(0, 256, (8, 8))
+        area = rng.integers(0, 256, (24, 24))
+        _, _, expected_map = full_search(ref, area)
+        result = full_search_me(ref, area)
+        assert np.array_equal(result.sad_map, expected_map)
+        assert result.sad_map.shape == (17, 17)
+
+    def test_different_ring_sizes(self, rng):
+        ref = rng.integers(0, 256, (4, 4))
+        area = rng.integers(0, 256, (10, 10))
+        _, _, expected_map = full_search(ref, area)
+        for dnodes in (8, 16, 32):
+            result = full_search_me(ref, area, dnodes=dnodes)
+            assert np.array_equal(result.sad_map, expected_map)
+
+    def test_pixel_range_validated(self):
+        with pytest.raises(SimulationError, match="8-bit"):
+            full_search_me(np.full((4, 4), 300), np.zeros((8, 8)))
+
+    def test_dimension_validated(self):
+        with pytest.raises(SimulationError, match="2-D"):
+            build_me_system(np.zeros(4), np.zeros((8, 8)))
+
+
+class TestCycles:
+    def test_simulated_matches_model(self, rng):
+        ref = rng.integers(0, 256, (4, 4))
+        area = rng.integers(0, 256, (8, 8))
+        result = full_search_me(ref, area)
+        assert result.cycles == cycle_model(
+            n_candidates=25, block_pixels=16, dnodes=16)
+
+    def test_paper_case_cycle_count(self, rng):
+        ref = rng.integers(0, 256, (8, 8))
+        area = rng.integers(0, 256, (24, 24))
+        result = full_search_me(ref, area)
+        assert result.cycles == cycle_model() == 2511
+
+    def test_batches(self, rng):
+        ref = rng.integers(0, 256, (8, 8))
+        area = rng.integers(0, 256, (24, 24))
+        result = full_search_me(ref, area)
+        assert result.batches == 19   # ceil(289 / 16)
+
+    def test_cycle_model_scales_with_dnodes(self):
+        assert cycle_model(dnodes=32) < cycle_model(dnodes=16)
+
+
+class TestHybridOrchestration:
+    def test_uses_local_and_global_modes(self, rng):
+        """The mapping exercises the paper's hybrid multi-level
+        reconfiguration: local compute loops + controller plane flips."""
+        ref = rng.integers(0, 256, (4, 4))
+        area = rng.integers(0, 256, (8, 8))
+        system, meta = build_me_system(ref, area)
+        from repro.core.dnode import DnodeMode
+        from repro.core.isa import Opcode
+
+        # Dnodes hold the SAD loop but idle in global mode until the
+        # controller's first compute plane flips them to local.
+        assert all(dn.mode is DnodeMode.GLOBAL
+                   for dn in system.ring.all_dnodes())
+        assert all(dn.local.current().op is Opcode.ABSDIFF
+                   for dn in system.ring.all_dnodes())
+        assert len(system.planes) == 3
+        system.step(); system.step(); system.step()  # preamble + plane 0
+        assert all(dn.mode is DnodeMode.LOCAL
+                   for dn in system.ring.all_dnodes())
+        system.run_until_halt(max_cycles=100_000)
+        # the controller kept reconfiguring: plane flips counted as writes
+        assert system.ring.config.writes > meta["batches"]

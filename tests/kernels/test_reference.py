@@ -1,0 +1,138 @@
+"""Tests for the golden reference kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import reference
+from repro.errors import SimulationError
+
+signals = st.lists(st.integers(min_value=-1000, max_value=1000),
+                   min_size=2, max_size=64).filter(lambda s: len(s) % 2 == 0)
+
+
+class TestSad:
+    def test_identical_blocks_zero(self):
+        block = np.arange(16).reshape(4, 4)
+        assert reference.sad(block, block) == 0
+
+    def test_known_value(self):
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[2, 2], [1, 8]])
+        assert reference.sad(a, b) == 1 + 0 + 2 + 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimulationError):
+            reference.sad(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 255, (8, 8))
+        b = rng.integers(0, 255, (8, 8))
+        assert reference.sad(a, b) == reference.sad(b, a)
+
+
+class TestFullSearch:
+    def test_exact_match_found(self, rng):
+        area = rng.integers(0, 255, (12, 12))
+        block = area[3:7, 5:9].copy()
+        best, best_sad, sad_map = reference.full_search(block, area)
+        assert best_sad == 0
+        assert area[best[0]:best[0] + 4, best[1]:best[1] + 4].tolist() == \
+            block.tolist()
+
+    def test_map_shape(self):
+        block = np.zeros((8, 8), dtype=int)
+        area = np.zeros((24, 24), dtype=int)
+        _, _, sad_map = reference.full_search(block, area)
+        assert sad_map.shape == (17, 17)  # the paper's 289 candidates
+
+    def test_area_too_small(self):
+        with pytest.raises(SimulationError):
+            reference.full_search(np.zeros((8, 8)), np.zeros((4, 4)))
+
+    def test_best_is_minimum(self, rng):
+        block = rng.integers(0, 255, (4, 4))
+        area = rng.integers(0, 255, (10, 10))
+        best, best_sad, sad_map = reference.full_search(block, area)
+        assert best_sad == sad_map.min()
+        assert sad_map[best] == best_sad
+
+
+class TestLifting53:
+    def test_constant_signal(self):
+        approx, detail = reference.lifting53_forward([5] * 8)
+        assert detail == [0] * 4        # no detail in a constant
+        assert approx == [5] * 4        # DC preserved
+
+    def test_length_validated(self):
+        with pytest.raises(SimulationError):
+            reference.lifting53_forward([1])
+        with pytest.raises(SimulationError):
+            reference.lifting53_forward([1, 2, 3])
+
+    @given(signals)
+    @settings(max_examples=60)
+    def test_perfect_reconstruction(self, sig):
+        approx, detail = reference.lifting53_forward(sig)
+        assert reference.lifting53_inverse(approx, detail) == sig
+
+    def test_inverse_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            reference.lifting53_inverse([1, 2], [1])
+
+    def test_halves_length(self):
+        approx, detail = reference.lifting53_forward(list(range(10)))
+        assert len(approx) == len(detail) == 5
+
+
+class TestDwt2d:
+    def test_perfect_reconstruction(self, rng):
+        img = rng.integers(-500, 500, (8, 12))
+        coeffs = reference.dwt53_2d(img)
+        assert np.array_equal(reference.idwt53_2d(coeffs), img)
+
+    def test_constant_image_energy_in_ll(self):
+        img = np.full((8, 8), 100)
+        coeffs = reference.dwt53_2d(img)
+        assert np.all(coeffs[:4, :4] == 100)
+        assert np.all(coeffs[4:, :] == 0)
+        assert np.all(coeffs[:, 4:] == 0)
+
+    def test_requires_2d(self):
+        with pytest.raises(SimulationError):
+            reference.dwt53_2d(np.arange(8))
+        with pytest.raises(SimulationError):
+            reference.idwt53_2d(np.arange(8))
+
+
+class TestFilters:
+    def test_fir_impulse_response_is_taps(self):
+        taps = [3, -1, 2]
+        out = reference.fir([1, 0, 0, 0], taps)
+        assert out == [3, -1, 2, 0]
+
+    def test_fir_matches_numpy_convolve(self, rng):
+        sig = rng.integers(-50, 50, 30).tolist()
+        taps = rng.integers(-5, 5, 6).tolist()
+        expected = np.convolve(sig, taps)[:len(sig)].tolist()
+        assert reference.fir(sig, taps) == expected
+
+    def test_fir_needs_taps(self):
+        with pytest.raises(SimulationError):
+            reference.fir([1, 2], [])
+
+    def test_iir_accumulator(self):
+        out = reference.iir_first_order([1, 1, 1, 1], b0=1, a1=1)
+        assert out == [1, 2, 3, 4]
+
+    def test_iir_with_shift(self):
+        out = reference.iir_first_order([4, 0, 0], b0=1, a1=1, shift=1)
+        assert out == [4, 2, 1]
+
+    def test_moving_average(self):
+        out = reference.moving_average([2, 4, 6, 8], 2)
+        assert out == [2, 6, 10, 14]
+
+    def test_moving_average_window_validated(self):
+        with pytest.raises(SimulationError):
+            reference.moving_average([1], 0)

@@ -1,0 +1,79 @@
+"""Tests for the area model: Table 3 anchors and scaling predictions."""
+
+import pytest
+
+from repro.core.ring import RingGeometry
+from repro.tech.area import (
+    core_area_mm2,
+    dnode_area_mm2,
+    ring_area_mm2,
+    synthesis_table,
+)
+
+
+class TestTable3Anchors:
+    """Table 3: calibrated by construction — reproduced exactly."""
+
+    def test_dnode_area_025(self):
+        assert dnode_area_mm2("0.25um") == pytest.approx(0.06, rel=1e-6)
+
+    def test_dnode_area_018(self):
+        assert dnode_area_mm2("0.18um") == pytest.approx(0.04, rel=1e-6)
+
+    def test_core_area_025(self):
+        assert ring_area_mm2(8, "0.25um") == pytest.approx(0.9, rel=1e-6)
+
+    def test_core_area_018(self):
+        assert ring_area_mm2(8, "0.18um") == pytest.approx(0.7, rel=1e-6)
+
+    def test_synthesis_table_rows(self):
+        rows = synthesis_table()
+        assert [r[0] for r in rows] == ["0.25um", "0.18um"]
+        assert rows[0][1:] == pytest.approx((0.06, 0.9, 180), rel=0.01)
+        assert rows[1][1:] == pytest.approx((0.04, 0.7, 200), rel=0.01)
+
+
+class TestPredictions:
+    def test_ring64_matches_fig7(self):
+        """Fig. 7's Ring-64 at 3.4 mm^2 — a genuine model prediction."""
+        assert ring_area_mm2(64, "0.18um") == pytest.approx(3.4, rel=0.02)
+
+    def test_ring16_with_line_buffers_near_table2(self):
+        """Table 2's Ring-16 at 1.4 mm^2 (with wavelet line memory)."""
+        area = ring_area_mm2(16, "0.18um",
+                             extra_memory_bits=2 * 1024 * 16)
+        assert area == pytest.approx(1.4, rel=0.15)
+
+    def test_area_grows_linearly_in_dnodes(self):
+        a8 = ring_area_mm2(8, "0.18um")
+        a16 = ring_area_mm2(16, "0.18um")
+        a32 = ring_area_mm2(32, "0.18um")
+        # equal increments: the controller is shared
+        assert (a32 - a16) == pytest.approx(2 * (a16 - a8), rel=0.05)
+
+    def test_overhead_fraction_shrinks_with_size(self):
+        """The scalability claim: non-Dnode overhead amortises."""
+        fractions = [
+            core_area_mm2(RingGeometry.ring(n), "0.18um")
+            .overhead_fraction
+            for n in (8, 16, 64, 256)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_per_dnode_area_constant(self):
+        r = core_area_mm2(RingGeometry.ring(64), "0.18um")
+        assert r.per_dnode_mm2 == pytest.approx(
+            dnode_area_mm2("0.18um"), rel=1e-6)
+
+
+class TestReport:
+    def test_breakdown_sums_to_total(self):
+        r = core_area_mm2(RingGeometry.ring(8), "0.18um",
+                          extra_memory_bits=1024)
+        total = (r.dnodes_mm2 + r.switches_mm2 + r.controller_mm2
+                 + r.memory_mm2 + r.extra_mm2)
+        assert r.total_mm2 == pytest.approx(total)
+
+    def test_str_mentions_ring_size(self):
+        r = core_area_mm2(RingGeometry.ring(8), "0.18um")
+        assert "Ring-8" in str(r)

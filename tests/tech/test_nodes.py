@@ -1,0 +1,66 @@
+"""Tests for the technology-node calibration."""
+
+import pytest
+
+from repro.tech.nodes import NODES, TABLE3_ANCHORS, TechNode, get_node
+from repro.errors import TechnologyError
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", ["0.25um", "0.18um"])
+    def test_calibrated_nodes_exist(self, name):
+        node = get_node(name)
+        assert node.calibrated
+        assert node.logic_um2_per_gate > 0
+        assert node.mem_um2_per_bit > 0
+
+    def test_frequency_anchor_reproduced(self):
+        for name, (_, _, freq) in TABLE3_ANCHORS.items():
+            assert get_node(name).frequency_hz() == pytest.approx(freq,
+                                                                  rel=1e-6)
+
+    def test_logic_area_scales_down(self):
+        assert get_node("0.18um").logic_um2_per_gate < \
+            get_node("0.25um").logic_um2_per_gate
+
+    def test_extrapolated_nodes(self):
+        assert not get_node("0.35um").calibrated
+        assert not get_node("0.13um").calibrated
+
+    def test_extrapolation_area_scaling(self):
+        base = get_node("0.18um")
+        small = get_node("0.13um")
+        expected = base.logic_um2_per_gate * (0.13 / 0.18) ** 2
+        assert small.logic_um2_per_gate == pytest.approx(expected)
+
+    def test_extrapolated_wire_penalty_grows(self):
+        assert get_node("0.13um").wire_penalty_ps > \
+            get_node("0.18um").wire_penalty_ps
+
+
+class TestInterface:
+    def test_unknown_node(self):
+        with pytest.raises(TechnologyError, match="unknown node"):
+            get_node("7nm")
+
+    def test_area_helpers(self):
+        node = get_node("0.25um")
+        assert node.logic_area_um2(100) == \
+            pytest.approx(100 * node.logic_um2_per_gate)
+        assert node.memory_area_um2(64) == \
+            pytest.approx(64 * node.mem_um2_per_bit)
+
+    def test_cycle_time_with_extra_wire(self):
+        node = get_node("0.18um")
+        base = node.cycle_time_ps()
+        assert node.cycle_time_ps(extra_wire_ps=100) == base + 100
+
+    def test_all_nodes_have_positive_delay(self):
+        for node in NODES.values():
+            assert node.fo4_ps > 0
+            assert node.frequency_hz() > 0
+
+    def test_tech_node_is_frozen(self):
+        node = get_node("0.18um")
+        with pytest.raises(AttributeError):
+            node.fo4_ps = 1.0

@@ -1,0 +1,76 @@
+"""Tests for the dynamic-power extension model."""
+
+import pytest
+
+from repro.core.ring import RingGeometry
+from repro.tech.power import (
+    PENTIUM_II_450_POWER_W,
+    core_power,
+    gate_capacitance_f,
+    mips_per_watt,
+    switch_energy_j,
+)
+from repro.errors import TechnologyError
+
+
+class TestSwitchEnergy:
+    def test_scales_with_vdd_squared(self):
+        e025 = switch_energy_j("0.25um")
+        e018 = switch_energy_j("0.18um")
+        expected = (gate_capacitance_f(0.18) * 1.8 ** 2) / \
+            (gate_capacitance_f(0.25) * 2.5 ** 2)
+        assert e018 / e025 == pytest.approx(expected)
+
+    def test_smaller_node_cheaper_per_toggle(self):
+        assert switch_energy_j("0.13um") < switch_energy_j("0.18um") < \
+            switch_energy_j("0.25um") < switch_energy_j("0.35um")
+
+
+class TestCorePower:
+    def test_ring8_in_plausible_band(self):
+        """A Ring-8 core at 200 MHz sits in the tens-of-mW class."""
+        estimate = core_power(RingGeometry.ring(8), "0.18um")
+        assert 0.02 < estimate.total_w < 0.3
+
+    def test_scales_with_frequency(self):
+        g = RingGeometry.ring(8)
+        p1 = core_power(g, "0.18um", frequency_hz=100e6)
+        p2 = core_power(g, "0.18um", frequency_hz=200e6)
+        assert p2.dynamic_w == pytest.approx(2 * p1.dynamic_w)
+
+    def test_scales_with_activity(self):
+        g = RingGeometry.ring(8)
+        idle = core_power(g, "0.18um", activity=0.05)
+        busy = core_power(g, "0.18um", activity=0.25)
+        assert busy.dynamic_w > 4 * idle.dynamic_w
+
+    def test_scales_with_size(self):
+        p8 = core_power(RingGeometry.ring(8), "0.18um").total_w
+        p64 = core_power(RingGeometry.ring(64), "0.18um").total_w
+        assert 5 < p64 / p8 < 8.5   # sub-linear: shared controller
+
+    def test_leakage_is_small(self):
+        estimate = core_power(RingGeometry.ring(8), "0.18um")
+        assert estimate.leakage_w < 0.1 * estimate.dynamic_w
+
+    def test_validation(self):
+        g = RingGeometry.ring(8)
+        with pytest.raises(TechnologyError):
+            core_power(g, "0.18um", activity=0.0)
+        with pytest.raises(TechnologyError):
+            core_power(g, "0.18um", frequency_hz=0)
+
+
+class TestEfficiency:
+    def test_orders_of_magnitude_vs_cpu(self):
+        """The motivating gap: the fabric is 100-10000x more efficient
+        than the era's CPU on dataflow work."""
+        from repro.baselines.scalar_cpu import PENTIUM_II_450
+
+        ring = mips_per_watt(8)
+        cpu = PENTIUM_II_450.sustained_mips / PENTIUM_II_450_POWER_W
+        assert 100 < ring / cpu < 10_000
+
+    def test_efficiency_improves_with_size(self):
+        """Shared controller amortises: bigger rings do more per watt."""
+        assert mips_per_watt(64) > mips_per_watt(8)

@@ -1,0 +1,71 @@
+"""Tests for the Fig. 7 SoC floor-plan budget."""
+
+import pytest
+
+from repro.tech.soc import ARM7TDMI_MM2, SocBudget, foreseeable_soc
+from repro.errors import TechnologyError
+
+
+class TestBudget:
+    def test_die_area(self):
+        budget = SocBudget(4.0, 3.0)
+        assert budget.die_mm2 == 12.0
+
+    def test_add_and_sum(self):
+        budget = SocBudget(4.0, 3.0)
+        budget.add("a", 2.0)
+        budget.add("b", 3.0)
+        assert budget.used_mm2 == 5.0
+        assert budget.free_mm2 == 7.0
+        assert budget.fits
+
+    def test_overflow_detected(self):
+        budget = SocBudget(1.0, 1.0)
+        budget.add("huge", 2.0)
+        assert not budget.fits
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(TechnologyError):
+            SocBudget(1, 1).add("x", -0.5)
+
+    def test_block_lookup(self):
+        budget = SocBudget(4, 3)
+        budget.add("cpu", 0.5)
+        assert budget.block_area("cpu") == 0.5
+        with pytest.raises(TechnologyError):
+            budget.block_area("gpu")
+
+    def test_str_report(self):
+        budget = SocBudget(4, 3)
+        budget.add("cpu", 0.5)
+        assert "cpu" in str(budget)
+        assert "fits" in str(budget)
+
+
+class TestForeseeableSoc:
+    """Fig. 7: a 12 mm^2 0.18 um die with ARM7 + Ring-64."""
+
+    def test_fits(self):
+        assert foreseeable_soc().fits
+
+    def test_arm7_area_as_printed(self):
+        budget = foreseeable_soc()
+        assert budget.block_area("arm7tdmi") == ARM7TDMI_MM2 == 0.54
+
+    def test_ring64_near_paper_value(self):
+        budget = foreseeable_soc()
+        assert budget.block_area("ring-64") == pytest.approx(3.4, rel=0.02)
+
+    def test_ring128_overflows_the_sketch(self):
+        """Doubling the ring (6.5 mm^2) breaks the 12 mm^2 budget — the
+        paper's Ring-64 choice is near the sweet spot, not arbitrary."""
+        budget = foreseeable_soc(ring_dnodes=128)
+        assert not budget.fits
+        assert budget.free_mm2 > -1.0  # but only just
+
+    def test_ring96_fits_with_headroom(self):
+        assert foreseeable_soc(ring_dnodes=96).fits
+
+    def test_custom_peripherals(self):
+        budget = foreseeable_soc(peripherals={"dsp": 1.0})
+        assert budget.block_area("dsp") == 1.0

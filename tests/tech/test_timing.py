@@ -1,0 +1,54 @@
+"""Tests for the frequency model: ring vs mesh vs crossbar scaling."""
+
+import pytest
+
+from repro.tech.timing import (
+    crossbar_frequency_hz,
+    estimated_frequency_hz,
+    mesh_frequency_hz,
+)
+from repro.errors import TechnologyError
+
+
+class TestRingFrequency:
+    def test_table3_anchors(self):
+        assert estimated_frequency_hz("0.25um") == pytest.approx(180e6)
+        assert estimated_frequency_hz("0.18um") == pytest.approx(200e6)
+
+    def test_independent_of_size(self):
+        """The scalability argument: nearest-neighbour wiring keeps the
+        clock constant at any ring size."""
+        f = [estimated_frequency_hz("0.18um", n) for n in (8, 64, 1024)]
+        assert f[0] == f[1] == f[2]
+
+    def test_dnodes_validated(self):
+        with pytest.raises(TechnologyError):
+            estimated_frequency_hz("0.18um", 0)
+
+
+class TestRivalTopologies:
+    def test_mesh_degrades_with_size(self):
+        f = [mesh_frequency_hz("0.18um", n) for n in (16, 64, 256)]
+        assert f[0] > f[1] > f[2]
+
+    def test_crossbar_degrades_faster_than_mesh(self):
+        mesh = mesh_frequency_hz("0.18um", 256)
+        xbar = crossbar_frequency_hz("0.18um", 256)
+        assert xbar < mesh
+
+    def test_small_mesh_matches_ring(self):
+        """Below the global-net threshold a mesh has no penalty."""
+        assert mesh_frequency_hz("0.18um", 8) == \
+            estimated_frequency_hz("0.18um", 8)
+
+    def test_ring_beats_both_at_scale(self):
+        n = 256
+        ring = estimated_frequency_hz("0.18um", n)
+        assert ring > mesh_frequency_hz("0.18um", n)
+        assert ring > crossbar_frequency_hz("0.18um", n)
+
+    def test_validation(self):
+        with pytest.raises(TechnologyError):
+            mesh_frequency_hz("0.18um", 0)
+        with pytest.raises(TechnologyError):
+            crossbar_frequency_hz("0.18um", -1)

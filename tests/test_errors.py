@@ -1,0 +1,33 @@
+"""Exception hierarchy contract tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError,
+        errors.SimulationError,
+        errors.AssemblerError,
+        errors.LoaderError,
+        errors.HostError,
+        errors.TechnologyError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(errors.ReproError, Exception)
+
+
+class TestAssemblerError:
+    def test_line_annotation(self):
+        err = errors.AssemblerError("bad token", line=42)
+        assert "line 42" in str(err)
+        assert err.line == 42
+
+    def test_without_line(self):
+        err = errors.AssemblerError("bad token")
+        assert err.line is None
+        assert str(err) == "bad token"

@@ -1,0 +1,62 @@
+"""Smoke tests: every shipped example must run green end to end.
+
+Each example asserts its own correctness internally (fabric vs golden),
+so simply executing ``main()`` is a meaningful integration test.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "assembly_programming",
+    "dataflow_compiler",
+    "soc_explorer",
+    "motion_estimation",
+    "wavelet_compression",
+    "vga_prototype",
+    "video_codec_frontend",
+    "waveform_debugging",
+    "adaptive_lms",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_quickstart_prints_paper_numbers(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "1600" in out      # Ring-8 peak MIPS
+    assert "3.20" in out      # theoretical bandwidth
+
+
+def test_motion_estimation_prints_speedups(capsys):
+    _load("motion_estimation").main()
+    out = capsys.readouterr().out
+    assert "Ring vs MMX speedup" in out
+
+
+def test_soc_explorer_prints_table3(capsys):
+    _load("soc_explorer").main()
+    out = capsys.readouterr().out
+    assert "Table 3" in out and "0.18um" in out

@@ -1,0 +1,96 @@
+"""Unit and property tests for 16-bit word arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import word
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert word.wrap(0) == 0
+        assert word.wrap(0xFFFF) == 0xFFFF
+
+    def test_overflow_wraps(self):
+        assert word.wrap(0x10000) == 0
+        assert word.wrap(0x10001) == 1
+
+    def test_negative_wraps(self):
+        assert word.wrap(-1) == 0xFFFF
+        assert word.wrap(-0x8000) == 0x8000
+
+    @given(st.integers())
+    def test_always_canonical(self, value):
+        assert 0 <= word.wrap(value) <= word.MASK
+
+
+class TestSignedConversion:
+    def test_zero(self):
+        assert word.to_signed(0) == 0
+        assert word.from_signed(0) == 0
+
+    def test_max_positive(self):
+        assert word.to_signed(0x7FFF) == 32767
+
+    def test_min_negative(self):
+        assert word.to_signed(0x8000) == -32768
+
+    def test_minus_one(self):
+        assert word.to_signed(0xFFFF) == -1
+        assert word.from_signed(-1) == 0xFFFF
+
+    @given(st.integers(min_value=-32768, max_value=32767))
+    def test_roundtrip_signed(self, value):
+        assert word.to_signed(word.from_signed(value)) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_roundtrip_raw(self, raw):
+        assert word.from_signed(word.to_signed(raw)) == raw
+
+    @given(st.integers())
+    def test_from_signed_wraps_like_hardware(self, value):
+        assert word.from_signed(value) == value & word.MASK
+
+
+class TestValidation:
+    def test_is_valid_accepts_range(self):
+        assert word.is_valid(0)
+        assert word.is_valid(0xFFFF)
+
+    def test_is_valid_rejects_out_of_range(self):
+        assert not word.is_valid(-1)
+        assert not word.is_valid(0x10000)
+
+    def test_is_valid_rejects_non_int(self):
+        assert not word.is_valid("5")
+        assert not word.is_valid(1.5)
+
+    def test_check_returns_value(self):
+        assert word.check(42) == 42
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(ValueError, match="operand"):
+            word.check(-3, "operand")
+
+
+class TestSaturate:
+    def test_within_range_passthrough(self):
+        assert word.to_signed(word.saturate_signed(100)) == 100
+        assert word.to_signed(word.saturate_signed(-100)) == -100
+
+    def test_clamps_high(self):
+        assert word.to_signed(word.saturate_signed(40000)) == 32767
+
+    def test_clamps_low(self):
+        assert word.to_signed(word.saturate_signed(-40000)) == -32768
+
+    @given(st.integers())
+    def test_result_always_in_signed_range(self, value):
+        signed = word.to_signed(word.saturate_signed(value))
+        assert word.MIN_SIGNED <= signed <= word.MAX_SIGNED
+
+    @given(st.integers())
+    def test_monotonic_at_bounds(self, value):
+        clamped = word.to_signed(word.saturate_signed(value))
+        assert clamped == max(word.MIN_SIGNED,
+                              min(word.MAX_SIGNED, value))
