@@ -123,6 +123,35 @@ _BINARY: Dict[Opcode, Callable[[int, int], int]] = {
 }
 
 
+def unary_handler(op: Opcode) -> Callable[[int], int]:
+    """The combinational function of a unary opcode (fast-path compiler).
+
+    Raises:
+        SimulationError: if *op* is not a simple unary operation.
+    """
+    handler = _UNARY.get(op)
+    if handler is None:
+        raise SimulationError(f"opcode {op!r} has no unary handler")
+    return handler
+
+
+def binary_handler(op: Opcode) -> Callable[[int, int], int]:
+    """The combinational function of a binary opcode (fast-path compiler).
+
+    Raises:
+        SimulationError: if *op* is not a simple binary operation.
+    """
+    handler = _BINARY.get(op)
+    if handler is None:
+        raise SimulationError(f"opcode {op!r} has no binary handler")
+    return handler
+
+
+def mul_full(a: int, b: int) -> int:
+    """Signed 16x16 -> full-precision product (fast-path compiler)."""
+    return _mul_full(a, b)
+
+
 def execute_op(op: Opcode, a: int, b: int = 0, acc: int = 0,
                imm: int = 0) -> int:
     """Evaluate one Dnode operation combinationally.

@@ -57,6 +57,11 @@ class ConfigMemory:
         self._ring = ring
         self.writes = 0  # total configuration words written (A1 ablation)
 
+    # Every mutator below lands on a Dnode / LocalController / SwitchConfig
+    # setter whose change hook invalidates the ring's pre-decoded fast-path
+    # plan, so a write at cycle t always governs the fabric from cycle t on
+    # regardless of which execution engine is active.
+
     # -- Dnode configuration -------------------------------------------
 
     def write_microword(self, layer: int, position: int,
@@ -139,4 +144,7 @@ class ConfigMemory:
             local.set_limit(limit)
         for (si, pos, port), src in plane.switch_routes.items():
             self._ring.switch(si).config.route(pos, port, src)
+        # Belt and braces: a plane write is a whole-fabric reconfiguration,
+        # so drop any compiled fast-path plan even if the plane was empty.
+        self._ring._invalidate_fastpath()
         self.writes += 1

@@ -109,12 +109,21 @@ class Dnode:
         self.name = name or f"D{layer}.{position}"
         self.regs = RegisterFile()
         self.local = LocalController()
-        self.mode = DnodeMode.GLOBAL
         self.stats = DnodeStats()
+        self._mode = DnodeMode.GLOBAL
         self._global_word: MicroWord = NOP_WORD
         self._out = 0
         self._out_pending: Optional[int] = None
         self._pops_pending: tuple = ()
+        #: Invalidation hook: called after every configuration mutation
+        #: (microword, mode, or local-sequencer contents).  The owning ring
+        #: points this at its fast-path invalidator.
+        self.on_config_change: Optional[Callable[[], None]] = None
+        self.local.on_change = self._config_changed
+
+    def _config_changed(self) -> None:
+        if self.on_config_change is not None:
+            self.on_config_change()
 
     # ------------------------------------------------------------------
     # Configuration interface (used by the configuration layer/controller)
@@ -130,6 +139,15 @@ class Dnode:
         """Microword currently held for global-mode execution."""
         return self._global_word
 
+    @property
+    def mode(self) -> DnodeMode:
+        """Current execution mode (global or local)."""
+        return self._mode
+
+    @mode.setter
+    def mode(self, mode: DnodeMode) -> None:
+        self.set_mode(mode)
+
     def configure(self, microword: MicroWord) -> None:
         """Write the global-mode microinstruction (configuration layer)."""
         if not isinstance(microword, MicroWord):
@@ -137,12 +155,14 @@ class Dnode:
                 f"expected MicroWord, got {type(microword).__name__}"
             )
         self._global_word = microword
+        self._config_changed()
 
     def set_mode(self, mode: DnodeMode) -> None:
         """Switch between global and local (stand-alone) execution."""
         if not isinstance(mode, DnodeMode):
             raise ConfigurationError(f"expected DnodeMode, got {mode!r}")
-        self.mode = mode
+        self._mode = mode
+        self._config_changed()
 
     def active_microword(self) -> MicroWord:
         """The microinstruction this Dnode will execute this cycle."""
@@ -194,9 +214,12 @@ class Dnode:
         """Phase 2 (clock edge): apply staged writes, advance sequencer.
 
         Returns:
-            The FIFO channels (1 and/or 2) this Dnode pops this cycle; the
-            fabric applies the pops so a peeked head stays stable within
-            the cycle.
+            The FIFO channels (1 and/or 2) this Dnode *requests* to pop
+            this cycle; the fabric applies the pops so a peeked head stays
+            stable within the cycle, and reports back the pops that
+            actually dequeued a word via :meth:`count_fifo_pop` —
+            ``stats.fifo_pops`` therefore counts real dequeues only, never
+            underflowed pop requests.
         """
         self.regs.commit()
         if self._out_pending is not None:
@@ -206,8 +229,11 @@ class Dnode:
             self.local.advance()
         pops = self._pops_pending
         self._pops_pending = ()
-        self.stats.fifo_pops += len(pops)
         return pops
+
+    def count_fifo_pop(self) -> None:
+        """Fabric callback: one requested pop actually dequeued a word."""
+        self.stats.fifo_pops += 1
 
     def reset(self) -> None:
         """Return the datapath to its power-on state (config preserved)."""

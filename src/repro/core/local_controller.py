@@ -15,7 +15,7 @@ controller involvement — the mechanism that makes large rings scalable.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Callable, Iterable, List, Optional
 
 from repro.core.isa import MicroWord, NOP_WORD
 from repro.errors import ConfigurationError
@@ -26,12 +26,16 @@ NUM_SLOTS = 8
 class LocalController:
     """The 9-register local sequencer of a Dnode."""
 
-    __slots__ = ("_slots", "_limit", "_counter")
+    __slots__ = ("_slots", "_limit", "_counter", "on_change")
 
     def __init__(self):
         self._slots: List[MicroWord] = [NOP_WORD] * NUM_SLOTS
         self._limit = 1
         self._counter = 0
+        #: Invalidation hook: called after every *configuration* mutation
+        #: (slot/LIMIT writes).  Counter movement is runtime state and does
+        #: not fire it.  Wired by the owning Dnode.
+        self.on_change: Optional[Callable[[], None]] = None
 
     @property
     def limit(self) -> int:
@@ -54,6 +58,8 @@ class LocalController:
                 f"local slot expects a MicroWord, got {type(microword).__name__}"
             )
         self._slots[index] = microword
+        if self.on_change is not None:
+            self.on_change()
 
     def load_program(self, program: Iterable[MicroWord]) -> None:
         """Load a whole loop body and set LIMIT to its length.
@@ -83,6 +89,8 @@ class LocalController:
         self._limit = limit
         if self._counter >= limit:
             self._counter = 0
+        if self.on_change is not None:
+            self.on_change()
 
     def reset_counter(self) -> None:
         """Force the state counter back to slot 0."""

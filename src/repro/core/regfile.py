@@ -73,8 +73,14 @@ class RegisterFile:
         return list(self._values)
 
     def reset(self) -> None:
-        """Clear all registers and any staged write."""
-        self._values = [0] * NUM_REGISTERS
+        """Clear all registers and any staged write.
+
+        Clears the backing list in place — the list object's identity is
+        stable for the life of the register file, so the ring's fast-path
+        engine can close over it directly.
+        """
+        for i in range(NUM_REGISTERS):
+            self._values[i] = 0
         self._pending_index = None
 
     @staticmethod

@@ -26,6 +26,17 @@ Each :meth:`Ring.step` models one clock:
 The shared ``bus`` value and host stream channels are supplied per cycle
 by the caller (the controller / data controller live in
 :mod:`repro.controller` and :mod:`repro.host`).
+
+Two execution engines drive the same semantics:
+
+* the **interpreter** (:meth:`Ring._step_interpreted`) re-resolves switch
+  routing and microword dispatch every cycle — the reference
+  implementation;
+* the **fast path** (:mod:`repro.core.fastpath`) pre-decodes the current
+  configuration into direct per-Dnode closures and is used automatically
+  whenever the configuration has been stable for a full cycle.  Every
+  configuration mutation invalidates it, so reconfiguration always takes
+  effect on the very next cycle, exactly as before.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro import word
 from repro.core.config_memory import ConfigMemory
 from repro.core.dnode import Dnode, DnodeInputs, DnodeMode
+from repro.core.fastpath import compile_plan
 from repro.core.isa import FEEDBACK_DEPTH
 from repro.core.switch import PortKind, PortSource, Switch
 from repro.errors import ConfigurationError, SimulationError
@@ -94,9 +106,11 @@ class Ring:
     """A complete operative layer: Dnodes, switches, FIFOs, clock engine."""
 
     def __init__(self, geometry: RingGeometry,
-                 strict_fifos: bool = False):
+                 strict_fifos: bool = False,
+                 fastpath: bool = True):
         self.geometry = geometry
         self.strict_fifos = strict_fifos
+        self.fastpath_enabled = fastpath
         self._dnodes: List[List[Dnode]] = [
             [Dnode(layer, pos) for pos in range(geometry.width)]
             for layer in range(geometry.layers)
@@ -110,6 +124,19 @@ class Ring:
         self.cycles = 0
         self.fifo_underflows = 0
         self._trace: Optional[Callable[["Ring"], None]] = None
+        # Steady-state fast path: compiled plan + invalidation wiring.
+        # `_plan` is the active pre-decoded engine (None = interpret);
+        # `_config_dirty` means a mutation happened during/after the last
+        # interpreted cycle, deferring compilation until the configuration
+        # has been stable for one full cycle (so controller-driven
+        # hardware multiplexing never pays compile overhead).
+        self._plan = None
+        self._config_dirty = True
+        for layer_dnodes in self._dnodes:
+            for dn in layer_dnodes:
+                dn.on_config_change = self._invalidate_fastpath
+        for sw in self._switches:
+            sw.config.on_change = self._invalidate_fastpath
 
     # ------------------------------------------------------------------
     # Structure access
@@ -180,10 +207,24 @@ class Ring:
             return 0
         return queue[0]
 
-    def _fifo_pop(self, layer: int, position: int, channel: int) -> None:
+    def _fifo_pop(self, layer: int, position: int, channel: int) -> bool:
+        """Apply one requested pop; report whether a word actually left.
+
+        An underflowed pop (empty queue) dequeues nothing: it raises in
+        strict mode and counts toward :attr:`fifo_underflows` otherwise,
+        so pop statistics never drift from real dequeues.
+        """
         queue = self._fifos.get((layer, position, channel))
         if queue:
             queue.popleft()
+            return True
+        if self.strict_fifos:
+            raise SimulationError(
+                f"D{layer}.{position} popped empty FIFO{channel} at cycle "
+                f"{self.cycles}"
+            )
+        self.fifo_underflows += 1
+        return False
 
     # ------------------------------------------------------------------
     # Clock engine
@@ -197,6 +238,11 @@ class Ring:
              host_in: Optional[HostReader] = None) -> None:
         """Advance the fabric by one clock cycle.
 
+        Dispatches to the pre-decoded fast path when the current
+        configuration has a valid compiled plan; otherwise interprets the
+        cycle and (once the configuration has been stable for a full
+        cycle) compiles a fresh plan for subsequent cycles.
+
         Args:
             bus: value currently driven on the shared bus by the
                 configuration controller.
@@ -206,6 +252,18 @@ class Ring:
                 may leave it None.
         """
         word.check(bus, "bus value")
+        plan = self._plan
+        if plan is not None:
+            plan.run(1, bus, host_in)
+            if self._trace is not None:
+                self._trace(self)
+            return
+        self._step_interpreted(bus, host_in)
+        self._maybe_compile()
+
+    def _step_interpreted(self, bus: int,
+                          host_in: Optional[HostReader]) -> None:
+        """One clock cycle through the reference interpreter."""
         geometry = self.geometry
 
         # Phase 1: resolve inputs and evaluate every Dnode combinationally.
@@ -231,34 +289,68 @@ class Ring:
         ]
         for layer in range(geometry.layers):
             for pos in range(geometry.width):
-                pops = self._dnodes[layer][pos].commit()
+                dn = self._dnodes[layer][pos]
+                pops = dn.commit()
                 for channel in pops:
-                    self._fifo_pop(layer, pos, channel)
+                    if self._fifo_pop(layer, pos, channel):
+                        dn.count_fifo_pop()
         for k in range(geometry.layers):
             self._switches[k].shift(visible_outs[self.upstream_layer(k)])
         self.cycles += 1
         if self._trace is not None:
             self._trace(self)
 
+    def _invalidate_fastpath(self) -> None:
+        """Configuration mutated: drop the compiled plan, defer recompile.
+
+        Wired into every configuration write path — Dnode microwords and
+        modes, local-sequencer slots and LIMIT, switch routing, and thereby
+        every :class:`~repro.core.config_memory.ConfigMemory` write.
+        """
+        self._plan = None
+        self._config_dirty = True
+
+    def _maybe_compile(self) -> None:
+        """Compile a plan once the configuration survived a stable cycle."""
+        if self._config_dirty:
+            self._config_dirty = False
+        elif self.fastpath_enabled and self._plan is None:
+            self._plan = compile_plan(self)
+
     def run(self, cycles: int, bus: int = 0,
             host_in: Optional[HostReader] = None) -> None:
-        """Step the fabric *cycles* times with constant bus/host context."""
+        """Step the fabric *cycles* times with constant bus/host context.
+
+        In steady state (no tracer, valid plan) the whole batch executes
+        inside the compiled fast path with no per-cycle dispatch.
+        """
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
-        for _ in range(cycles):
+        word.check(bus, "bus value")
+        remaining = cycles
+        while remaining > 0:
+            plan = self._plan
+            if plan is not None and self._trace is None:
+                plan.run(remaining, bus, host_in)
+                return
             self.step(bus=bus, host_in=host_in)
+            remaining -= 1
 
     def reset(self) -> None:
         """Datapath reset: registers, pipelines, FIFOs, counters.
 
         Configuration (microwords, modes, routing) is preserved, matching
-        a hardware reset that does not clear configuration SRAM.
+        a hardware reset that does not clear configuration SRAM.  FIFO
+        queues are cleared *in place*: any queue handle previously handed
+        out by :meth:`fifo` (host/DMA producers hold these) stays live and
+        keeps feeding the same Dnode after the reset.
         """
         for dn in self.all_dnodes():
             dn.reset()
         for sw in self._switches:
             sw.reset()
-        self._fifos.clear()
+        for queue in self._fifos.values():
+            queue.clear()
         self.cycles = 0
         self.fifo_underflows = 0
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import word
 from repro.core.isa import FEEDBACK_DEPTH
@@ -149,6 +149,10 @@ class SwitchConfig:
             raise ConfigurationError(f"switch width must be >= 1, got {width}")
         self.width = width
         self._routes: Dict[Tuple[int, int], PortSource] = {}
+        #: Invalidation hook: called after every routing mutation.  The
+        #: owning :class:`~repro.core.ring.Ring` points this at its
+        #: fast-path invalidator so steady-state plans are recompiled.
+        self.on_change: Optional[Callable[[], None]] = None
 
     def route(self, position: int, port: int, source: PortSource) -> None:
         """Connect input *port* (1 or 2) of downstream Dnode *position*."""
@@ -168,6 +172,8 @@ class SwitchConfig:
                 f"feedback lane {source.lane} out of range (width {self.width})"
             )
         self._routes[(position, port)] = source
+        if self.on_change is not None:
+            self.on_change()
 
     def source_for(self, position: int, port: int) -> PortSource:
         """Current routing of input *port* of downstream Dnode *position*."""
@@ -178,6 +184,8 @@ class SwitchConfig:
     def clear(self) -> None:
         """Disconnect every port (all read zero)."""
         self._routes.clear()
+        if self.on_change is not None:
+            self.on_change()
 
     def copy(self) -> "SwitchConfig":
         clone = SwitchConfig(self.width)
@@ -218,10 +226,16 @@ class Switch:
         self.width = width
         self.pipeline_depth = pipeline_depth
         self.config = SwitchConfig(width)
-        # _pipes[lane][stage-1]: upstream lane output delayed by `stage`.
+        # Each lane's pipeline is a fixed-size ring buffer: ``_head`` is the
+        # slot holding the most recent (stage-1) value, older stages follow
+        # at increasing offsets modulo the depth.  A shift is therefore one
+        # write per lane instead of an O(depth) list rotation.  The list
+        # objects are never replaced (reset clears them in place), so the
+        # fast-path engine may close over them directly.
         self._pipes: List[List[int]] = [
             [0] * pipeline_depth for _ in range(width)
         ]
+        self._head = 0
 
     def rp_read(self, stage: int, lane: int) -> int:
         """Read feedback tap ``Rp(stage, lane)`` (both 1-based)."""
@@ -235,7 +249,8 @@ class Switch:
                 f"switch {self.index}: feedback lane {lane} out of range "
                 f"1..{self.width}"
             )
-        return self._pipes[lane - 1][stage - 1]
+        return self._pipes[lane - 1][
+            (self._head + stage - 1) % self.pipeline_depth]
 
     def shift(self, upstream_outputs: List[int]) -> None:
         """Clock edge: push the upstream layer's outputs into the pipelines.
@@ -249,15 +264,18 @@ class Switch:
                 f"switch {self.index}: expected {self.width} upstream "
                 f"outputs, got {len(upstream_outputs)}"
             )
+        head = (self._head - 1) % self.pipeline_depth
+        self._head = head
         for lane, value in enumerate(upstream_outputs):
             word.check(value, f"switch {self.index} lane {lane}")
-            pipe = self._pipes[lane]
-            pipe.insert(0, value)
-            pipe.pop()
+            self._pipes[lane][head] = value
 
     def reset(self) -> None:
         """Flush the feedback pipelines (routing config preserved)."""
-        self._pipes = [[0] * self.pipeline_depth for _ in range(self.width)]
+        for pipe in self._pipes:
+            for i in range(self.pipeline_depth):
+                pipe[i] = 0
+        self._head = 0
 
     def __repr__(self) -> str:
         return f"Switch(index={self.index}, width={self.width})"

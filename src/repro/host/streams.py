@@ -154,6 +154,18 @@ class DataController:
         """Resolver handed to :meth:`repro.core.ring.Ring.step`."""
         return self.channel(index).current()
 
+    @property
+    def idle(self) -> bool:
+        """True when per-cycle servicing would be a no-op.
+
+        No taps to sample and no queued stream words to advance — empty
+        channels still present their idle value (and count underruns)
+        through :meth:`host_in`, which needs no per-cycle bookkeeping.
+        """
+        return not self.taps and not any(
+            ch.pending() for ch in self._channels.values()
+        )
+
     def advance(self) -> None:
         """Clock edge: every channel moves to its next word."""
         for ch in self._channels.values():

@@ -65,9 +65,20 @@ class RingSystem:
         self.cycles += 1
 
     def run(self, cycles: int) -> None:
-        """Step *cycles* times."""
+        """Step *cycles* times.
+
+        An uncontrolled system with an idle data controller (no taps, no
+        queued stream words) needs no per-cycle host servicing, so the whole
+        batch is handed to :meth:`repro.core.ring.Ring.run` — which lets the
+        ring's pre-decoded fast path execute without re-entering the host
+        layer every cycle.
+        """
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
+        if self.controller is None and self.data.idle:
+            self.ring.run(cycles, host_in=self.data.host_in)
+            self.cycles += cycles
+            return
         for _ in range(cycles):
             self.step()
 

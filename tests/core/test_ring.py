@@ -149,7 +149,37 @@ class TestFifos:
             Opcode.MOV, Source.FIFO1, dst=Dest.OUT, flags=Flag.POP_FIFO1))
         ring8.step()
         assert ring8.dnode(0, 0).out == 0
-        assert ring8.fifo_underflows == 1
+        # Two distinct underflow events in the one cycle: the evaluate-phase
+        # peek found the FIFO empty, and the commit-phase pop did too.  A
+        # pop that underflows must not be billed as a delivered pop.
+        assert ring8.fifo_underflows == 2
+        assert ring8.dnode(0, 0).stats.fifo_pops == 0
+
+    def test_pop_stats_count_only_real_dequeues(self, ring8):
+        # One queued word, two pop cycles: exactly one pop landed; the
+        # second cycle's peek and pop both underflow.
+        ring8.config.write_microword(0, 0, MicroWord(
+            Opcode.MOV, Source.FIFO1, dst=Dest.OUT, flags=Flag.POP_FIFO1))
+        ring8.push_fifo(0, 0, 1, [42])
+        ring8.run(2)
+        assert ring8.dnode(0, 0).stats.fifo_pops == 1
+        assert ring8.fifo_underflows == 2
+
+    def test_reset_keeps_fifo_handles_live(self, ring8):
+        # reset() must clear the deques in place: a producer holding a
+        # queue handle from fifo() keeps feeding the same Dnode afterwards.
+        handle = ring8.fifo(0, 0, 1)
+        ring8.config.write_microword(0, 0, MicroWord(
+            Opcode.MOV, Source.FIFO1, dst=Dest.OUT, flags=Flag.POP_FIFO1))
+        ring8.push_fifo(0, 0, 1, [10, 20])
+        ring8.step()
+        ring8.reset()
+        assert ring8.fifo(0, 0, 1) is handle
+        assert len(handle) == 0
+        handle.append(33)
+        ring8.step()
+        assert ring8.dnode(0, 0).out == 33
+        assert ring8.fifo_underflows == 0
 
     def test_strict_underflow_raises(self):
         ring = Ring(RingGeometry.ring(8), strict_fifos=True)

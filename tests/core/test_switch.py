@@ -184,3 +184,51 @@ class TestFeedbackPipelines:
         assert sw.rp_read(2, 1) == 2
         with pytest.raises(SimulationError):
             sw.rp_read(3, 1)
+
+
+class TestRotatingPipelineBuffer:
+    """The O(1) ring-buffer shift must stay bit-identical to the naive
+    insert-at-front/drop-at-back pipeline it replaced."""
+
+    def test_matches_naive_shift_model(self):
+        depth = 4
+        sw = Switch(0, 2, pipeline_depth=depth)
+        naive = [[0] * depth for _ in range(2)]
+        for i in range(3 * depth + 1):  # several full head wraparounds
+            values = [(i * 3 + 1) & 0xFFFF, (i * 5 + 2) & 0xFFFF]
+            sw.shift(values)
+            for lane in range(2):
+                naive[lane].insert(0, values[lane])
+                naive[lane].pop()
+            for stage in range(1, depth + 1):
+                for lane in (1, 2):
+                    assert sw.rp_read(stage, lane) == naive[lane - 1][stage - 1]
+
+    def test_reset_preserves_pipe_identity(self):
+        # The fast-path engine closes over the pipeline lists, so reset
+        # must clear them in place rather than replace them.
+        sw = Switch(0, 2)
+        pipes = sw._pipes
+        lanes = list(pipes)
+        sw.shift([5, 6])
+        sw.reset()
+        assert sw._pipes is pipes
+        assert all(a is b for a, b in zip(sw._pipes, lanes))
+        assert sw._head == 0
+
+
+class TestConfigChangeHook:
+    def test_route_and_clear_fire(self):
+        calls = []
+        cfg = SwitchConfig(2)
+        cfg.on_change = lambda: calls.append(1)
+        cfg.route(0, 1, PortSource.up(0))
+        cfg.clear()
+        assert len(calls) == 2
+
+    def test_lookup_does_not_fire(self):
+        calls = []
+        cfg = SwitchConfig(2)
+        cfg.on_change = lambda: calls.append(1)
+        cfg.source_for(0, 1)
+        assert calls == []
