@@ -1,5 +1,9 @@
-"""Analysis helpers: raw-power arithmetic and report rendering.
+"""Analysis helpers: instrumentation, tracing, and report rendering.
 
+* :mod:`repro.analysis.metrics` — always-on counter aggregation with
+  JSON / Prometheus export (tier 1 of the observability layer);
+* :mod:`repro.analysis.trace` — per-cycle and sampled waveform capture
+  with VCD export (tier 2);
 * :mod:`repro.analysis.mips` — the §5.1 comparative numbers (peak MIPS,
   sustained rates measured from simulator statistics, bandwidth
   ceilings);
@@ -7,6 +11,12 @@
   the benchmark harnesses and examples.
 """
 
+from repro.analysis.metrics import (
+    Metric,
+    MetricsRegistry,
+    MetricsSnapshot,
+    collect_metrics,
+)
 from repro.analysis.mips import (
     ring_peak_mips,
     ring_peak_mops,
@@ -18,6 +28,10 @@ from repro.analysis.report import render_table
 from repro.analysis.trace import Probe, SignalTrace, parse_vcd, write_vcd
 
 __all__ = [
+    "Metric",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "collect_metrics",
     "Probe",
     "SignalTrace",
     "parse_vcd",

@@ -1,0 +1,266 @@
+"""Unified instrumentation: always-on counters, snapshots, exporters.
+
+Tier 1 of the observability layer.  The simulator's components already
+maintain cheap counters on their configuration and commit paths — per-Dnode
+activity (:class:`~repro.core.dnode.DnodeStats`), FIFO depth high-water
+marks and underflows, fast-path plan compiles/invalidations
+(:class:`~repro.core.ring.Ring`), per-switch route writes
+(:class:`~repro.core.switch.SwitchConfig`), configuration-word traffic
+(:class:`~repro.core.config_memory.ConfigMemory`) and controller
+retire/stall statistics (:class:`~repro.controller.core.ControllerState`).
+Nothing here adds per-cycle work: a :class:`MetricsRegistry` *aggregates*
+those live counters on demand into an immutable :class:`MetricsSnapshot`
+that exports as JSON or Prometheus text format (and drives the
+``--metrics`` option of ``python -m repro.tools run``).
+
+Tier 2 (sampled tracing) lives in :mod:`repro.analysis.trace`; tier 3
+(wall-clock engine profiling) is :meth:`repro.core.ring.Ring.profile`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import SimulationError
+
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Prometheus metric name prefix for every exported sample.
+PREFIX = "repro_"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One metric family: a name, a kind, and its labelled samples."""
+
+    name: str                 # without the ``repro_`` prefix
+    kind: str                 # "counter" or "gauge"
+    help: str
+    samples: Tuple[Tuple[Labels, float], ...]
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+class MetricsSnapshot:
+    """Immutable point-in-time aggregation of every registered counter."""
+
+    def __init__(self, metrics: Iterable[Metric]):
+        self.metrics: Tuple[Metric, ...] = tuple(metrics)
+
+    def value(self, name: str, **labels: str) -> float:
+        """Look one sample up by metric name and exact label set."""
+        want: Labels = tuple(sorted(labels.items()))
+        for metric in self.metrics:
+            if metric.name != name:
+                continue
+            for sample_labels, value in metric.samples:
+                if tuple(sorted(sample_labels)) == want:
+                    return value
+        raise KeyError(f"no sample {name}{labels or ''} in snapshot")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Nested plain-data form: unlabelled metrics map straight to
+        their value, labelled ones to a ``{label-string: value}`` dict."""
+        data: Dict[str, object] = {}
+        for metric in self.metrics:
+            if len(metric.samples) == 1 and not metric.samples[0][0]:
+                data[metric.name] = metric.samples[0][1]
+            else:
+                data[metric.name] = {
+                    ",".join(f"{k}={v}" for k, v in labels): value
+                    for labels, value in metric.samples
+                }
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_prometheus(self) -> str:
+        """Render in the Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self.metrics:
+            full = PREFIX + metric.name
+            lines.append(f"# HELP {full} {metric.help}")
+            lines.append(f"# TYPE {full} {metric.kind}")
+            for labels, value in metric.samples:
+                if labels:
+                    body = ",".join(
+                        f'{k}="{_escape_label(str(v))}"' for k, v in labels)
+                    lines.append(f"{full}{{{body}}} {_format_value(value)}")
+                else:
+                    lines.append(f"{full} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+class MetricsRegistry:
+    """Aggregates the live counters of a ring (and optionally its system).
+
+    Build one with :meth:`of` from either a bare
+    :class:`~repro.core.ring.Ring` or a complete
+    :class:`~repro.host.system.RingSystem`; :meth:`collect` walks the
+    components and returns a :class:`MetricsSnapshot`.  The registry holds
+    only references — collecting is read-only and can be repeated.
+    """
+
+    def __init__(self, ring, controller=None):
+        self.ring = ring
+        self.controller = controller
+
+    @classmethod
+    def of(cls, target) -> "MetricsRegistry":
+        """Adapt a Ring or a RingSystem (anything with ``.ring``)."""
+        ring = getattr(target, "ring", target)
+        if not hasattr(ring, "all_dnodes"):
+            raise SimulationError(
+                f"cannot collect metrics from {type(target).__name__}"
+            )
+        controller = getattr(target, "controller", None)
+        return cls(ring, controller=controller)
+
+    # ------------------------------------------------------------------
+
+    def collect(self) -> MetricsSnapshot:
+        metrics: List[Metric] = []
+        metrics.extend(self._ring_metrics())
+        metrics.extend(self._dnode_metrics())
+        metrics.extend(self._switch_metrics())
+        metrics.extend(self._fifo_metrics())
+        if self.controller is not None:
+            metrics.extend(self._controller_metrics())
+        return MetricsSnapshot(metrics)
+
+    # ------------------------------------------------------------------
+
+    def _ring_metrics(self) -> List[Metric]:
+        ring = self.ring
+        scalar = [
+            ("ring_cycles_total", "counter",
+             "Fabric clock cycles executed.", ring.cycles),
+            ("ring_fifo_underflows_total", "counter",
+             "FIFO reads/pops that found an empty queue.",
+             ring.fifo_underflows),
+            ("ring_plan_compiles_total", "counter",
+             "Fast-path plans compiled.", ring.plan_compiles),
+            ("ring_plan_invalidations_total", "counter",
+             "Compiled plans dropped by reconfiguration.",
+             ring.plan_invalidations),
+            ("ring_config_writes_total", "counter",
+             "Configuration words written through ConfigMemory.",
+             ring.config.writes),
+            ("ring_instructions_total", "counter",
+             "Non-NOP microinstructions executed fabric-wide.",
+             ring.instructions_executed),
+            ("ring_arithmetic_ops_total", "counter",
+             "Elementary operator activations (MAC counts as 2).",
+             ring.arithmetic_ops_executed),
+            ("ring_utilization", "gauge",
+             "Fraction of Dnode-cycles that executed a real instruction.",
+             ring.utilization()),
+        ]
+        return [Metric(name, kind, help_, (((), float(value)),))
+                for name, kind, help_, value in scalar]
+
+    def _dnode_metrics(self) -> List[Metric]:
+        dnodes = self.ring.all_dnodes()
+        fields = [
+            ("dnode_cycles_total", "cycles", "Cycles this Dnode evaluated."),
+            ("dnode_instructions_total", "instructions",
+             "Non-NOP microinstructions this Dnode executed."),
+            ("dnode_arithmetic_ops_total", "arithmetic_ops",
+             "Elementary operator activations of this Dnode."),
+            ("dnode_multiplies_total", "multiplies",
+             "Hardwired-multiplier activations of this Dnode."),
+            ("dnode_fifo_pops_total", "fifo_pops",
+             "Words actually dequeued from this Dnode's input FIFOs."),
+        ]
+        metrics = []
+        for name, attr, help_ in fields:
+            samples = tuple(
+                (((("dnode", dn.name),)), float(getattr(dn.stats, attr)))
+                for dn in dnodes
+            )
+            metrics.append(Metric(name, "counter", help_, samples))
+        return metrics
+
+    def _switch_metrics(self) -> List[Metric]:
+        ring = self.ring
+        samples = tuple(
+            ((("switch", str(k)),),
+             float(ring.switch(k).config.writes))
+            for k in range(ring.geometry.layers)
+        )
+        return [Metric(
+            "switch_route_writes_total", "counter",
+            "Routing-table writes applied to this switch.", samples)]
+
+    def _fifo_metrics(self) -> List[Metric]:
+        ring = self.ring
+
+        def labels(key) -> Labels:
+            layer, position, channel = key
+            return (("dnode", f"D{layer}.{position}"),
+                    ("channel", str(channel)))
+
+        depth = tuple(
+            (labels(key), float(len(queue)))
+            for key, queue in sorted(ring._fifos.items()) if queue
+        )
+        high = tuple(
+            (labels(key), float(mark))
+            for key, mark in sorted(ring.fifo_high_water.items())
+        )
+        return [
+            Metric("fifo_depth", "gauge",
+                   "Current input-FIFO occupancy (non-empty queues only).",
+                   depth),
+            Metric("fifo_depth_high_water", "gauge",
+                   "Deepest occupancy each input FIFO has reached.", high),
+        ]
+
+    def _controller_metrics(self) -> List[Metric]:
+        state = self.controller.state
+        scalar = [
+            ("controller_cycles_total", "Controller clock cycles.",
+             state.cycles),
+            ("controller_retired_total", "Instructions retired.",
+             state.retired),
+            ("controller_stalls_total",
+             "Cycles lost to stalls (WAITI + empty-mailbox INW).",
+             state.stalls),
+            ("controller_wait_stalls_total",
+             "Stall cycles spent inside WAITI delays.", state.wait_stalls),
+            ("controller_mailbox_stalls_total",
+             "Stall cycles spent retrying INW on an empty mailbox.",
+             state.mailbox_stalls),
+            ("controller_config_commands_total",
+             "Configuration commands issued to the fabric.",
+             state.config_commands),
+            ("controller_bus_writes_total",
+             "BUSW instructions driving the shared bus.", state.bus_writes),
+        ]
+        return [Metric(name, "counter", help_, (((), float(value)),))
+                for name, help_, value in scalar]
+
+
+def collect_metrics(target) -> MetricsSnapshot:
+    """One-shot convenience: ``collect_metrics(ring_or_system)``."""
+    return MetricsRegistry.of(target).collect()
+
+
+__all__ = [
+    "Metric",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "collect_metrics",
+]

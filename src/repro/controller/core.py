@@ -68,11 +68,19 @@ class ConfigCommand:
 
 @dataclass
 class ControllerState:
-    """Observable controller statistics."""
+    """Observable controller statistics.
+
+    ``stalls`` counts every lost cycle; ``wait_stalls`` and
+    ``mailbox_stalls`` split it by cause (``WAITI`` delay vs. ``INW``
+    retrying an empty mailbox) so the metrics layer can tell a
+    deliberately-paced program from one starved by the host.
+    """
 
     cycles: int = 0
     retired: int = 0
     stalls: int = 0
+    wait_stalls: int = 0
+    mailbox_stalls: int = 0
     config_commands: int = 0
     bus_writes: int = 0
 
@@ -152,6 +160,7 @@ class RiscController:
         if self._wait_remaining > 0:
             self._wait_remaining -= 1
             self.state.stalls += 1
+            self.state.wait_stalls += 1
             return []
         if not 0 <= self.pc < len(self.program):
             raise SimulationError(
@@ -264,6 +273,7 @@ class RiscController:
             if not box:
                 # Stall: retry this instruction next cycle.
                 self.state.stalls += 1
+                self.state.mailbox_stalls += 1
                 return []
             self.regs[instr.rd] = box.popleft()
         elif op is ROp.OUTW:

@@ -32,6 +32,16 @@ invalidates the current plan, the next cycle falls back to the
 interpreter, and a new plan is compiled once the configuration has been
 stable for a full cycle — so controller-driven hardware multiplexing
 (a reconfiguration every cycle) never pays compilation overhead.
+
+Observability composes with the plan rather than disabling it: a *sampled*
+observer (a :class:`~repro.analysis.trace.SignalTrace` with a capture
+interval or cycle window) lets :meth:`~repro.core.ring.Ring.run` chunk-run
+the compiled thunks between capture points — ``plan.run(n)`` up to the
+next due cycle, one observer dispatch, repeat — so traced steady state
+keeps batched execution.  Only an every-cycle observer forces per-cycle
+dispatch.  Because a chunk boundary is an ordinary post-commit point, the
+captured samples are bit-identical to an interpreted (or every-cycle
+traced) run decimated to the same schedule.
 """
 
 from __future__ import annotations

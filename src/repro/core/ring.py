@@ -42,7 +42,9 @@ Two execution engines drive the same semantics:
 from __future__ import annotations
 
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro import word
@@ -54,6 +56,112 @@ from repro.core.switch import PortKind, PortSource, Switch
 from repro.errors import ConfigurationError, SimulationError
 
 HostReader = Callable[[int], int]
+
+RingObserver = Callable[["Ring"], None]
+
+
+class _CycleObserver:
+    """One registered per-cycle callback with its capture schedule.
+
+    ``interval`` samples the observer every N-th cycle (measured on the
+    post-commit :attr:`Ring.cycles` value, so interval 4 fires after
+    cycles 4, 8, 12, ...); ``start``/``stop`` bound an inclusive capture
+    window on the same cycle index.  The schedule is what lets
+    :meth:`Ring.run` keep batches on the compiled fast path between
+    captures instead of dropping to per-cycle dispatch.
+    """
+
+    __slots__ = ("callback", "interval", "start", "stop")
+
+    def __init__(self, callback: RingObserver, interval: int = 1,
+                 start: Optional[int] = None, stop: Optional[int] = None):
+        if interval < 1:
+            raise ConfigurationError(
+                f"observer interval must be >= 1, got {interval}"
+            )
+        if start is not None and start < 0:
+            raise ConfigurationError(
+                f"observer window start must be >= 0, got {start}"
+            )
+        if (start is not None and stop is not None and stop < start):
+            raise ConfigurationError(
+                f"observer window stop {stop} precedes start {start}"
+            )
+        self.callback = callback
+        self.interval = interval
+        self.start = start
+        self.stop = stop
+
+    @property
+    def every_cycle(self) -> bool:
+        return (self.interval == 1 and self.start is None
+                and self.stop is None)
+
+    def due(self, cycle: int) -> bool:
+        """Does this observer capture after the cycle numbered *cycle*?"""
+        if self.start is not None and cycle < self.start:
+            return False
+        if self.stop is not None and cycle > self.stop:
+            return False
+        return cycle % self.interval == 0
+
+    def next_due(self, cycle: int) -> Optional[int]:
+        """First cycle index > *cycle* that captures (None = never again)."""
+        nxt = cycle + 1
+        if self.start is not None and nxt < self.start:
+            nxt = self.start
+        remainder = nxt % self.interval
+        if remainder:
+            nxt += self.interval - remainder
+        if self.stop is not None and nxt > self.stop:
+            return None
+        return nxt
+
+
+@dataclass
+class RingProfile:
+    """Wall-clock accounting of one :meth:`Ring.profile` session.
+
+    Separates the time spent in the two execution engines and in plan
+    compilation, so a workload's fast-path coverage (and the compile
+    overhead paid for it) is directly measurable.
+    """
+
+    interpreted_cycles: int = 0
+    interpreted_seconds: float = 0.0
+    fastpath_cycles: int = 0
+    fastpath_seconds: float = 0.0
+    plan_compiles: int = 0
+    compile_seconds: float = 0.0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.interpreted_cycles + self.fastpath_cycles
+
+    @property
+    def fastpath_fraction(self) -> float:
+        """Fraction of profiled cycles executed by the compiled engine."""
+        total = self.total_cycles
+        return self.fastpath_cycles / total if total else 0.0
+
+    def cycles_per_second(self) -> float:
+        """Aggregate throughput over everything profiled (0 if untimed)."""
+        elapsed = (self.interpreted_seconds + self.fastpath_seconds
+                   + self.compile_seconds)
+        return self.total_cycles / elapsed if elapsed > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of every counter plus the derived rates."""
+        return {
+            "interpreted_cycles": self.interpreted_cycles,
+            "interpreted_seconds": self.interpreted_seconds,
+            "fastpath_cycles": self.fastpath_cycles,
+            "fastpath_seconds": self.fastpath_seconds,
+            "plan_compiles": self.plan_compiles,
+            "compile_seconds": self.compile_seconds,
+            "fastpath_fraction": self.fastpath_fraction,
+            "cycles_per_second": self.cycles_per_second(),
+        }
 
 
 @dataclass(frozen=True)
@@ -123,6 +231,22 @@ class Ring:
         self.config = ConfigMemory(self)
         self.cycles = 0
         self.fifo_underflows = 0
+        #: Last value driven on the shared bus (updated by step()/run(),
+        #: so bus probes observe the controller-driven value instead of a
+        #: stale default).
+        self.last_bus = 0
+        #: FIFO depth high-water marks, keyed like :attr:`_fifos`
+        #: ((layer, position, channel)); updated on every push.
+        self.fifo_high_water: Dict[Tuple[int, int, int], int] = {}
+        #: Fast-path lifecycle counters (always-on, config-path cost only).
+        self.plan_compiles = 0
+        self.plan_invalidations = 0
+        self._observers: List[_CycleObserver] = []
+        self._legacy_trace: Optional[RingObserver] = None
+        self._profile: Optional[RingProfile] = None
+        #: Composed post-commit hook: None when nothing observes, a bare
+        #: callback for the single always-on observer, otherwise a
+        #: dispatcher that applies each observer's capture schedule.
         self._trace: Optional[Callable[["Ring"], None]] = None
         # Steady-state fast path: compiled plan + invalidation wiring.
         # `_plan` is the active pre-decoded engine (None = interpret);
@@ -194,6 +318,10 @@ class Ring:
             values = [values]
         for v in values:
             queue.append(word.check(v, "FIFO push"))
+        key = (layer, position, channel)
+        depth = len(queue)
+        if depth > self.fifo_high_water.get(key, 0):
+            self.fifo_high_water[key] = depth
 
     def _fifo_peek(self, layer: int, position: int, channel: int) -> int:
         queue = self._fifos.get((layer, position, channel))
@@ -230,9 +358,94 @@ class Ring:
     # Clock engine
     # ------------------------------------------------------------------
 
+    def add_observer(self, callback: RingObserver, interval: int = 1,
+                     start: Optional[int] = None,
+                     stop: Optional[int] = None) -> RingObserver:
+        """Register a post-commit observer; multiple observers chain.
+
+        ``interval`` fires the callback only after cycles whose post-commit
+        index is a multiple of it; ``start``/``stop`` bound an inclusive
+        cycle window.  A sampled observer (interval > 1 or a window) keeps
+        :meth:`run` on the compiled fast path between captures: the batch
+        is chunk-run up to each capture point instead of dropping to
+        per-cycle dispatch.  Re-adding an already-registered callback
+        replaces its schedule.  Returns *callback* (the removal handle).
+        """
+        # Equality, not identity: bound methods (the usual observer form)
+        # are re-created on each attribute access.
+        self._observers = [o for o in self._observers
+                           if o.callback != callback]
+        self._observers.append(
+            _CycleObserver(callback, interval, start, stop))
+        self._rebuild_trace()
+        return callback
+
+    def remove_observer(self, callback: RingObserver) -> None:
+        """Unregister one observer; other observers are untouched."""
+        self._observers = [o for o in self._observers
+                           if o.callback != callback]
+        if self._legacy_trace == callback:
+            self._legacy_trace = None
+        self._rebuild_trace()
+
     def set_trace(self, callback: Optional[Callable[["Ring"], None]]) -> None:
-        """Install a per-cycle observer, called after each commit."""
-        self._trace = callback
+        """Install a per-cycle observer, called after each commit.
+
+        Legacy single-hook interface: each call replaces only the hook
+        previously installed *through this method* — observers registered
+        with :meth:`add_observer` are never touched, so a waveform trace
+        and a metrics observer can coexist.
+        """
+        if self._legacy_trace is not None:
+            self.remove_observer(self._legacy_trace)
+        if callback is not None:
+            self.add_observer(callback)
+            self._legacy_trace = callback
+
+    def _rebuild_trace(self) -> None:
+        observers = self._observers
+        if not observers:
+            self._trace = None
+        elif len(observers) == 1 and observers[0].every_cycle:
+            self._trace = observers[0].callback
+        else:
+            chain = tuple(observers)
+
+            def dispatch(ring: "Ring", _chain=chain) -> None:
+                cycle = ring.cycles
+                for observer in _chain:
+                    if observer.due(cycle):
+                        observer.callback(ring)
+
+            self._trace = dispatch
+
+    def _trace_stride(self) -> Optional[int]:
+        """Cycles from now until the next observer capture (None = never)."""
+        cycle = self.cycles
+        best: Optional[int] = None
+        for observer in self._observers:
+            nxt = observer.next_due(cycle)
+            if nxt is not None and (best is None or nxt < best):
+                best = nxt
+        return None if best is None else best - cycle
+
+    @contextmanager
+    def profile(self):
+        """Context manager timing the engines while the block runs.
+
+        Yields a :class:`RingProfile` that accumulates wall-clock seconds
+        and cycle counts separately for the interpreter, the compiled fast
+        path, and plan compilation.  Profiling adds one predicate per
+        dispatch decision — nothing on the per-cycle fast path itself.
+        """
+        if self._profile is not None:
+            raise SimulationError("ring is already being profiled")
+        profile = RingProfile()
+        self._profile = profile
+        try:
+            yield profile
+        finally:
+            self._profile = None
 
     def step(self, bus: int = 0,
              host_in: Optional[HostReader] = None) -> None:
@@ -252,14 +465,39 @@ class Ring:
                 may leave it None.
         """
         word.check(bus, "bus value")
+        self.last_bus = bus
         plan = self._plan
         if plan is not None:
-            plan.run(1, bus, host_in)
+            self._run_plan(plan, 1, bus, host_in)
             if self._trace is not None:
                 self._trace(self)
             return
-        self._step_interpreted(bus, host_in)
+        profile = self._profile
+        if profile is None:
+            self._step_interpreted(bus, host_in)
+        else:
+            began = perf_counter()
+            try:
+                self._step_interpreted(bus, host_in)
+            finally:
+                profile.interpreted_seconds += perf_counter() - began
+            profile.interpreted_cycles += 1
         self._maybe_compile()
+
+    def _run_plan(self, plan, cycles: int, bus: int,
+                  host_in: Optional[HostReader]) -> None:
+        """Execute *cycles* through the compiled plan, timing if profiled."""
+        profile = self._profile
+        if profile is None:
+            plan.run(cycles, bus, host_in)
+            return
+        before = self.cycles
+        began = perf_counter()
+        try:
+            plan.run(cycles, bus, host_in)
+        finally:
+            profile.fastpath_seconds += perf_counter() - began
+            profile.fastpath_cycles += self.cycles - before
 
     def _step_interpreted(self, bus: int,
                           host_in: Optional[HostReader]) -> None:
@@ -307,7 +545,9 @@ class Ring:
         modes, local-sequencer slots and LIMIT, switch routing, and thereby
         every :class:`~repro.core.config_memory.ConfigMemory` write.
         """
-        self._plan = None
+        if self._plan is not None:
+            self._plan = None
+            self.plan_invalidations += 1
         self._config_dirty = True
 
     def _maybe_compile(self) -> None:
@@ -315,14 +555,26 @@ class Ring:
         if self._config_dirty:
             self._config_dirty = False
         elif self.fastpath_enabled and self._plan is None:
-            self._plan = compile_plan(self)
+            profile = self._profile
+            if profile is None:
+                self._plan = compile_plan(self)
+            else:
+                began = perf_counter()
+                self._plan = compile_plan(self)
+                profile.compile_seconds += perf_counter() - began
+                profile.plan_compiles += 1
+            self.plan_compiles += 1
 
     def run(self, cycles: int, bus: int = 0,
             host_in: Optional[HostReader] = None) -> None:
         """Step the fabric *cycles* times with constant bus/host context.
 
-        In steady state (no tracer, valid plan) the whole batch executes
-        inside the compiled fast path with no per-cycle dispatch.
+        In steady state (no observer, valid plan) the whole batch executes
+        inside the compiled fast path with no per-cycle dispatch.  With
+        only *sampled* observers installed (a capture interval or cycle
+        window), the batch is chunk-run on the same compiled plan between
+        capture points, so tracing no longer forces per-cycle interpreted
+        dispatch; only an every-cycle observer does.
         """
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
@@ -330,9 +582,26 @@ class Ring:
         remaining = cycles
         while remaining > 0:
             plan = self._plan
-            if plan is not None and self._trace is None:
-                plan.run(remaining, bus, host_in)
-                return
+            if plan is not None:
+                trace = self._trace
+                if trace is None:
+                    self.last_bus = bus
+                    self._run_plan(plan, remaining, bus, host_in)
+                    return
+                stride = self._trace_stride()
+                if stride is None:
+                    # Every observer's window is exhausted: free-run.
+                    self.last_bus = bus
+                    self._run_plan(plan, remaining, bus, host_in)
+                    return
+                if stride > 1:
+                    chunk = min(stride, remaining)
+                    self.last_bus = bus
+                    self._run_plan(plan, chunk, bus, host_in)
+                    remaining -= chunk
+                    if chunk == stride:
+                        trace(self)
+                    continue
             self.step(bus=bus, host_in=host_in)
             remaining -= 1
 
@@ -353,6 +622,8 @@ class Ring:
             queue.clear()
         self.cycles = 0
         self.fifo_underflows = 0
+        self.fifo_high_water.clear()
+        self.last_bus = 0
 
     # ------------------------------------------------------------------
     # Statistics
@@ -413,4 +684,4 @@ def make_ring(dnodes: int, width: int = 2, **kwargs) -> Ring:
     return Ring(RingGeometry.ring(dnodes, width=width), **kwargs)
 
 
-__all__ = ["Ring", "RingGeometry", "make_ring", "PortSource"]
+__all__ = ["Ring", "RingGeometry", "RingProfile", "make_ring", "PortSource"]

@@ -149,6 +149,9 @@ class SwitchConfig:
             raise ConfigurationError(f"switch width must be >= 1, got {width}")
         self.width = width
         self._routes: Dict[Tuple[int, int], PortSource] = {}
+        #: Routing mutations applied to this switch (route/clear calls);
+        #: aggregated per switch by the metrics registry.
+        self.writes = 0
         #: Invalidation hook: called after every routing mutation.  The
         #: owning :class:`~repro.core.ring.Ring` points this at its
         #: fast-path invalidator so steady-state plans are recompiled.
@@ -172,6 +175,7 @@ class SwitchConfig:
                 f"feedback lane {source.lane} out of range (width {self.width})"
             )
         self._routes[(position, port)] = source
+        self.writes += 1
         if self.on_change is not None:
             self.on_change()
 
@@ -184,6 +188,7 @@ class SwitchConfig:
     def clear(self) -> None:
         """Disconnect every port (all read zero)."""
         self._routes.clear()
+        self.writes += 1
         if self.on_change is not None:
             self.on_change()
 

@@ -52,7 +52,13 @@ class RingSystem:
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance the whole accelerator by one clock cycle."""
+        """Advance the whole accelerator by one clock cycle.
+
+        The bus value driven by the controller is handed to the ring,
+        which records it (:attr:`~repro.core.ring.Ring.last_bus`) — so an
+        attached :class:`~repro.analysis.trace.SignalTrace` bus probe
+        observes the controller's ``BUSW`` traffic, not a stale default.
+        """
         bus = 0
         if self.controller is not None:
             commands = self.controller.step()
@@ -81,6 +87,17 @@ class RingSystem:
             return
         for _ in range(cycles):
             self.step()
+
+    def metrics(self):
+        """Aggregate every live counter into a MetricsSnapshot.
+
+        Covers the fabric (cycles, per-Dnode activity, FIFO depths and
+        high-water marks, fast-path plan lifecycle, configuration
+        traffic) and — when a controller is attached — its retire/stall
+        statistics.  Read-only; call as often as needed.
+        """
+        from repro.analysis.metrics import MetricsRegistry
+        return MetricsRegistry.of(self).collect()
 
     def run_until_halt(self, max_cycles: int = 1_000_000,
                        drain: int = 0) -> int:

@@ -5,4 +5,6 @@ Usage::
     python -m repro.tools asm  program.asm -o program.obj --layers 8
     python -m repro.tools dis  program.obj
     python -m repro.tools run  program.obj --stream 0:1,2,3 --tap 1.0:8
+    python -m repro.tools run  program.obj --metrics run.prom \\
+        --metrics-format prom       # export the run's counter snapshot
 """

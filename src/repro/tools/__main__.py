@@ -81,6 +81,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for spec, tap in taps:
         values = [word.to_signed(v) for v in tap.samples]
         print(f"tap {spec}: {values}")
+    if args.metrics:
+        snapshot = system.metrics()
+        text = (snapshot.to_prometheus() if args.metrics_format == "prom"
+                else snapshot.to_json() + "\n")
+        Path(args.metrics).write_text(text)
+        print(f"wrote metrics to {args.metrics} ({args.metrics_format})")
     return 0
 
 
@@ -117,6 +123,12 @@ def main(argv=None) -> int:
     p_run.add_argument("--cycles", type=int, default=None,
                        help="run exactly N cycles instead of to HALT")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_run.add_argument("--metrics", default=None, metavar="PATH",
+                       help="export run metrics (counters, FIFO high-water "
+                            "marks, controller stalls) to PATH")
+    p_run.add_argument("--metrics-format", choices=("json", "prom"),
+                       default="json",
+                       help="metrics format: JSON or Prometheus text")
     p_run.set_defaults(func=_cmd_run)
 
     args = parser.parse_args(argv)

@@ -236,6 +236,117 @@ def test_reset_midstream_stays_equivalent(seed):
     assert _state(reference) == _state(fast)
 
 
+@pytest.mark.parametrize("seed", range(5))
+def test_reset_with_live_fifo_handles_and_compiled_plan(seed):
+    # Harder reset scenario: FIFOs already hold data when the plan
+    # compiles (so the plan's pop/peek closures bind those exact deques),
+    # then reset() empties them in place mid-run.  The plan survives and
+    # must keep matching the interpreter on the refilled state.
+    reference, fast = _make_pair(seed + 2000)
+    ref_host, fast_host = _HostLog(), _HostLog()
+    reference.run(9, host_in=ref_host)
+    fast.run(9, host_in=fast_host)
+    assert fast._plan is not None
+    plan_before = fast._plan
+    reference.reset()
+    fast.reset()
+    assert fast._plan is plan_before, \
+        "reset clears state in place; it must not drop the plan"
+    rng = random.Random(seed + 3000)
+    refill = [rng.randrange(1 << word.WIDTH) for _ in range(6)]
+    for ring in (reference, fast):
+        ring.push_fifo(0, 0, 1, refill)
+        ring.push_fifo(1, 1, 2, refill[:3])
+    reference.run(9, host_in=ref_host)
+    fast.run(9, host_in=fast_host)
+    assert ref_host.calls == fast_host.calls
+    assert _state(reference) == _state(fast)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_reset_counters_identical_across_engines(seed):
+    reference, fast = _make_pair(seed + 4000)
+    ref_host, fast_host = _HostLog(), _HostLog()
+    reference.run(8, bus=5, host_in=ref_host)
+    fast.run(8, bus=5, host_in=fast_host)
+    reference.reset()
+    fast.reset()
+    for ring in (reference, fast):
+        assert ring.cycles == 0
+        assert ring.fifo_underflows == 0
+        assert ring.fifo_high_water == {}
+        assert ring.last_bus == 0
+    reference.run(8, host_in=ref_host)
+    fast.run(8, host_in=fast_host)
+    assert _state(reference) == _state(fast)
+
+
+# ----------------------------------------------------------------------
+# Sampled-trace equivalence: the chunk-running fast path must capture
+# the same cycles with the same values as the per-cycle interpreter.
+# ----------------------------------------------------------------------
+
+
+def _traced_pair(seed, interval, start=None, stop=None):
+    from repro.analysis.trace import Probe, SignalTrace
+    reference, fast = _make_pair(seed)
+    probes = [Probe.out(0, 0), Probe.out(2, 1), Probe.reg(1, 0, 2),
+              Probe.bus()]
+    traces = tuple(
+        SignalTrace(ring, probes, interval=interval, start=start, stop=stop)
+        for ring in (reference, fast))
+    return reference, fast, traces
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("interval", [1, 3, 7, 16])
+def test_sampled_trace_bit_identical_across_engines(seed, interval):
+    reference, fast, (ref_trace, fast_trace) = _traced_pair(seed, interval)
+    ref_host, fast_host = _HostLog(), _HostLog()
+    bus = (seed * 7919) & word.MASK
+    reference.run(40, bus=bus, host_in=ref_host)
+    fast.run(40, bus=bus, host_in=fast_host)
+    if interval > 1:
+        assert fast._plan is not None, \
+            "a sampled trace must not keep the ring off the fast path"
+    assert fast_trace.sampled_at == ref_trace.sampled_at
+    assert fast_trace.samples == ref_trace.samples
+    assert _state(reference) == _state(fast)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_windowed_trace_bit_identical_across_engines(seed):
+    reference, fast, (ref_trace, fast_trace) = _traced_pair(
+        seed + 500, interval=4, start=10, stop=30)
+    ref_host, fast_host = _HostLog(), _HostLog()
+    reference.run(40, host_in=ref_host)
+    fast.run(40, host_in=fast_host)
+    assert fast._plan is not None
+    assert fast_trace.sampled_at == ref_trace.sampled_at == [12, 16, 20,
+                                                             24, 28]
+    assert fast_trace.samples == ref_trace.samples
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_trace_across_reset_bit_identical(seed):
+    # reset() mid-run with a live sampled trace: both engines must keep
+    # sampling the same post-reset cycle indices with identical values.
+    reference, fast, (ref_trace, fast_trace) = _traced_pair(
+        seed + 700, interval=5)
+    ref_host, fast_host = _HostLog(), _HostLog()
+    reference.run(13, host_in=ref_host)
+    fast.run(13, host_in=fast_host)
+    reference.reset()
+    fast.reset()
+    for ring in (reference, fast):
+        ring.push_fifo(0, 0, 1, [11, 22, 33])
+    reference.run(13, host_in=ref_host)
+    fast.run(13, host_in=fast_host)
+    assert fast_trace.sampled_at == ref_trace.sampled_at
+    assert fast_trace.samples == ref_trace.samples
+    assert _state(reference) == _state(fast)
+
+
 def test_per_cycle_reconfiguration_never_compiles():
     # Hardware multiplexing: a configuration write every cycle keeps the
     # fabric permanently on the interpreter — no compile thrash.

@@ -74,6 +74,33 @@ class TestRunCommand:
         assert code == 0
         assert "ran 3 cycles" in capsys.readouterr().out
 
+    def test_metrics_export_json(self, asm_file, tmp_path, capsys):
+        import json
+        main(["asm", str(asm_file)])
+        capsys.readouterr()
+        metrics = tmp_path / "run.json"
+        code = main(["run", str(asm_file.with_suffix(".obj")),
+                     "--stream", "0:1", "--tap", "0.0:1",
+                     "--cycles", "5", "--metrics", str(metrics)])
+        assert code == 0
+        assert f"wrote metrics to {metrics}" in capsys.readouterr().out
+        data = json.loads(metrics.read_text())
+        assert data["ring_cycles_total"] == 5
+        assert "controller_cycles_total" in data
+
+    def test_metrics_export_prometheus(self, asm_file, tmp_path, capsys):
+        main(["asm", str(asm_file)])
+        capsys.readouterr()
+        metrics = tmp_path / "run.prom"
+        code = main(["run", str(asm_file.with_suffix(".obj")),
+                     "--stream", "0:1", "--tap", "0.0:1",
+                     "--cycles", "5", "--metrics", str(metrics),
+                     "--metrics-format", "prom"])
+        assert code == 0
+        text = metrics.read_text()
+        assert "# TYPE repro_ring_cycles_total counter" in text
+        assert "repro_ring_cycles_total 5" in text
+
 
 class TestReportCommand:
     def test_generates_full_report(self, tmp_path, capsys):
