@@ -136,6 +136,7 @@ class MetricsRegistry:
         metrics.extend(self._dnode_metrics())
         metrics.extend(self._switch_metrics())
         metrics.extend(self._fifo_metrics())
+        metrics.extend(self._batch_metrics())
         if self.controller is not None:
             metrics.extend(self._controller_metrics())
         return MetricsSnapshot(metrics)
@@ -227,6 +228,56 @@ class MetricsRegistry:
             Metric("fifo_depth_high_water", "gauge",
                    "Deepest occupancy each input FIFO has reached.", high),
         ]
+
+    def _batch_metrics(self) -> List[Metric]:
+        """Per-lane counters of the batch backend (empty when inactive).
+
+        The scalar ``ring_*`` metrics always mirror lane 0 (that is the
+        batch engine's writeback contract); these add the cross-lane
+        view: per-lane samples labelled ``lane=<i>`` plus an aggregate
+        sum over every lane, so multi-stream serving dashboards see both
+        the distribution and the total.
+        """
+        engine = getattr(self.ring, "_batch_engine", None)
+        if engine is None:
+            return []
+        lanes = engine.batch
+        underflow_samples = tuple(
+            ((("lane", str(lane)),), float(engine.lane_underflows[lane]))
+            for lane in range(lanes)
+        )
+        pop_totals = [0] * lanes
+        for counts in engine.lane_fifo_pops.values():
+            for lane in range(lanes):
+                pop_totals[lane] += int(counts[lane])
+        pop_samples = tuple(
+            ((("lane", str(lane)),), float(pop_totals[lane]))
+            for lane in range(lanes)
+        )
+        scalar = [
+            ("batch_lanes", "gauge",
+             "Independent streams advanced per batch step.", lanes),
+            ("batch_plan_compiles_total", "counter",
+             "Batch kernel sets compiled.", engine.compiles),
+            ("batch_plan_invalidations_total", "counter",
+             "Batch kernel sets dropped by reconfiguration.",
+             engine.invalidations),
+            ("batch_fifo_underflows_total", "counter",
+             "FIFO underflows summed across every lane.",
+             float(engine.lane_underflows.sum())),
+            ("batch_fifo_pops_total", "counter",
+             "Words dequeued from input FIFOs summed across every lane.",
+             float(sum(pop_totals))),
+        ]
+        metrics = [Metric(name, kind, help_, (((), float(value)),))
+                   for name, kind, help_, value in scalar]
+        metrics.append(Metric(
+            "batch_lane_fifo_underflows_total", "counter",
+            "FIFO underflows of one lane.", underflow_samples))
+        metrics.append(Metric(
+            "batch_lane_fifo_pops_total", "counter",
+            "Words dequeued from input FIFOs of one lane.", pop_samples))
+        return metrics
 
     def _controller_metrics(self) -> List[Metric]:
         state = self.controller.state

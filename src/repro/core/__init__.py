@@ -29,6 +29,7 @@ from repro.core.config_memory import ConfigMemory, ConfigPlane
 from repro.core.address_map import AddressMap
 from repro.core.snapshot import RingSnapshot, capture, restore
 from repro.core.ring import Ring, RingGeometry
+from repro.core.batchpath import BatchRing, batch_execute_op
 
 __all__ = [
     "Flag",
@@ -54,4 +55,6 @@ __all__ = [
     "restore",
     "Ring",
     "RingGeometry",
+    "BatchRing",
+    "batch_execute_op",
 ]

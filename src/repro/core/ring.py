@@ -213,12 +213,35 @@ class RingGeometry:
 class Ring:
     """A complete operative layer: Dnodes, switches, FIFOs, clock engine."""
 
+    #: Valid values of the ``backend`` selector.
+    BACKENDS = ("interpreter", "fastpath", "batch")
+
     def __init__(self, geometry: RingGeometry,
                  strict_fifos: bool = False,
-                 fastpath: bool = True):
+                 fastpath: bool = True,
+                 backend: Optional[str] = None,
+                 batch_size: int = 1):
         self.geometry = geometry
         self.strict_fifos = strict_fifos
-        self.fastpath_enabled = fastpath
+        if backend is None:
+            backend = "fastpath" if fastpath else "interpreter"
+        if backend not in self.BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{self.BACKENDS}"
+            )
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch size must be >= 1, got {batch_size}"
+            )
+        if batch_size > 1 and backend != "batch":
+            raise ConfigurationError(
+                f"batch_size {batch_size} requires backend='batch', "
+                f"got {backend!r}"
+            )
+        self.backend = backend
+        self.batch_size = batch_size
+        self.fastpath_enabled = backend == "fastpath"
         self._dnodes: List[List[Dnode]] = [
             [Dnode(layer, pos) for pos in range(geometry.width)]
             for layer in range(geometry.layers)
@@ -256,11 +279,88 @@ class Ring:
         # hardware multiplexing never pays compile overhead).
         self._plan = None
         self._config_dirty = True
+        #: Extra callbacks fired on every configuration mutation (the
+        #: batch engine hooks in here, reusing the fast-path wiring).
+        self._invalidation_listeners: List[Callable[[], None]] = []
+        #: Lazily created batch engine (backend == "batch" only).
+        self._batch_engine = None
         for layer_dnodes in self._dnodes:
             for dn in layer_dnodes:
                 dn.on_config_change = self._invalidate_fastpath
         for sw in self._switches:
             sw.config.on_change = self._invalidate_fastpath
+
+    # ------------------------------------------------------------------
+    # Backend selection
+    # ------------------------------------------------------------------
+
+    @property
+    def batch(self):
+        """The attached :class:`~repro.core.batchpath.BatchRing` engine.
+
+        Only meaningful with ``backend="batch"``; created lazily (the
+        first access broadcasts the ring's current scalar state across
+        the lanes).
+        """
+        if self.backend != "batch":
+            raise ConfigurationError(
+                f"ring backend is {self.backend!r}, not 'batch'"
+            )
+        return self._ensure_batch()
+
+    def _ensure_batch(self):
+        if self._batch_engine is None:
+            from repro.core.batchpath import BatchRing
+            self._batch_engine = BatchRing(self, self.batch_size)
+        return self._batch_engine
+
+    def set_backend(self, backend: str,
+                    batch_size: Optional[int] = None) -> None:
+        """Switch execution engine ("interpreter" | "fastpath" | "batch").
+
+        Safe at any point between cycles: the scalar state always
+        reflects the last committed cycle (the batch engine writes lane
+        0 back after every run), so the new engine picks up exactly
+        where the old one stopped.  Entering batch mode broadcasts that
+        state across *batch_size* lanes.
+        """
+        if backend not in self.BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{self.BACKENDS}"
+            )
+        if batch_size is None:
+            batch_size = self.batch_size if backend == "batch" else 1
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch size must be >= 1, got {batch_size}"
+            )
+        if batch_size > 1 and backend != "batch":
+            raise ConfigurationError(
+                f"batch_size {batch_size} requires backend='batch', "
+                f"got {backend!r}"
+            )
+        if self._batch_engine is not None and (
+                backend != "batch"
+                or self._batch_engine.batch != batch_size):
+            self._batch_engine.detach()
+            self._batch_engine = None
+        self.backend = backend
+        self.batch_size = batch_size
+        self.fastpath_enabled = backend == "fastpath"
+        self._plan = None
+        self._config_dirty = True
+
+    def add_invalidation_listener(
+            self, listener: Callable[[], None]) -> None:
+        """Hook *listener* into every configuration-mutation event."""
+        self._invalidation_listeners.append(listener)
+
+    def remove_invalidation_listener(
+            self, listener: Callable[[], None]) -> None:
+        self._invalidation_listeners = [
+            l for l in self._invalidation_listeners if l is not listener
+        ]
 
     # ------------------------------------------------------------------
     # Structure access
@@ -316,12 +416,18 @@ class Ring:
         queue = self.fifo(layer, position, channel)
         if isinstance(values, int):
             values = [values]
+        else:
+            values = list(values)
         for v in values:
             queue.append(word.check(v, "FIFO push"))
         key = (layer, position, channel)
         depth = len(queue)
         if depth > self.fifo_high_water.get(key, 0):
             self.fifo_high_water[key] = depth
+        if self._batch_engine is not None:
+            # Keep the lane FIFOs coherent: a scalar push reaches every
+            # lane (lane-specific loads go through BatchRing.push_fifo).
+            self._batch_engine.push_fifo(layer, position, channel, values)
 
     def _fifo_peek(self, layer: int, position: int, channel: int) -> int:
         queue = self._fifos.get((layer, position, channel))
@@ -466,6 +572,13 @@ class Ring:
         """
         word.check(bus, "bus value")
         self.last_bus = bus
+        if self.backend == "batch":
+            engine = self._ensure_batch()
+            engine.run(1, bus, host_in)
+            engine.store_lane(0)
+            if self._trace is not None:
+                self._trace(self)
+            return
         plan = self._plan
         if plan is not None:
             self._run_plan(plan, 1, bus, host_in)
@@ -549,6 +662,8 @@ class Ring:
             self._plan = None
             self.plan_invalidations += 1
         self._config_dirty = True
+        for listener in self._invalidation_listeners:
+            listener()
 
     def _maybe_compile(self) -> None:
         """Compile a plan once the configuration survived a stable cycle."""
@@ -579,6 +694,9 @@ class Ring:
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
         word.check(bus, "bus value")
+        if self.backend == "batch":
+            self._run_batch(cycles, bus, host_in)
+            return
         remaining = cycles
         while remaining > 0:
             plan = self._plan
@@ -605,6 +723,31 @@ class Ring:
             self.step(bus=bus, host_in=host_in)
             remaining -= 1
 
+    def _run_batch(self, cycles: int, bus: int,
+                   host_in: Optional[HostReader]) -> None:
+        """Batch-backend run loop: chunk between observer capture points.
+
+        Lane 0 is written back to the scalar structures before every
+        observer dispatch (and at the end of the run), so traces,
+        metrics and taps see exactly what they would on a scalar engine.
+        """
+        engine = self._ensure_batch()
+        remaining = cycles
+        while remaining > 0:
+            trace = self._trace
+            chunk = remaining
+            fire = False
+            if trace is not None:
+                stride = self._trace_stride()
+                if stride is not None:
+                    chunk = min(stride, remaining)
+                    fire = chunk == stride
+            engine.run(chunk, bus, host_in)
+            remaining -= chunk
+            engine.store_lane(0)
+            if fire:
+                trace(self)
+
     def reset(self) -> None:
         """Datapath reset: registers, pipelines, FIFOs, counters.
 
@@ -624,6 +767,11 @@ class Ring:
         self.fifo_underflows = 0
         self.fifo_high_water.clear()
         self.last_bus = 0
+        if self._batch_engine is not None:
+            # Drop the lane state entirely: the next batch run rebuilds
+            # it by broadcasting the (now cleared) scalar datapath.
+            self._batch_engine.detach()
+            self._batch_engine = None
 
     # ------------------------------------------------------------------
     # Statistics

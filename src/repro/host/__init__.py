@@ -14,12 +14,20 @@ rather an IP core accelerator ... which would take place in a SoC"
   fabric + data controller into one clocked SoC model.
 """
 
-from repro.host.streams import DataController, OutputTap, StreamChannel
+from repro.host.streams import (
+    BatchOutputTap,
+    BatchStreamChannel,
+    DataController,
+    OutputTap,
+    StreamChannel,
+)
 from repro.host.dma import TransferModel, ONCHIP_PORTS, PCI_BUS
 from repro.host.memory import WordMemory
 from repro.host.system import RingSystem
 
 __all__ = [
+    "BatchOutputTap",
+    "BatchStreamChannel",
     "DataController",
     "OutputTap",
     "StreamChannel",

@@ -12,12 +12,21 @@ bandwidth data oriented computation".
   (optionally after a pipeline-fill delay), collecting result streams.
 * :class:`DataController` — the bank of channels and taps a
   :class:`~repro.host.system.RingSystem` drives each cycle.
+
+With the ring's batch backend (``backend="batch"``) the same port
+serves B independent streams at once: construct the controller with
+``batch=B`` and it hands out :class:`BatchStreamChannel` /
+:class:`BatchOutputTap` instead — per-lane queues, per-lane underrun
+accounting, per-lane sample streams — while keeping the exact same
+per-cycle protocol (``current``/``advance``/``observe``).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
 
 from repro import word
 from repro.errors import HostError
@@ -66,10 +75,87 @@ class StreamChannel:
         """Words still queued."""
         return len(self._queue)
 
+    @property
+    def words_delivered(self) -> int:
+        """Total words actually consumed by the fabric (all lanes)."""
+        return self.delivered
+
     def __repr__(self) -> str:
         return (
             f"StreamChannel(pending={len(self._queue)}, "
             f"delivered={self.delivered})"
+        )
+
+
+class BatchStreamChannel:
+    """One direct host->fabric port carrying B independent lane streams.
+
+    Per-lane queues share the channel's clock: :meth:`current` presents
+    one word per lane (idle value where a lane has run dry, with the
+    underrun counted *for that lane only*), :meth:`advance` consumes the
+    presented word on every lane that had one.  Push the same stimulus
+    to every lane with ``push(values)`` or a lane-specific stream with
+    ``push(values, lane=i)``.
+    """
+
+    def __init__(self, batch: int, idle_value: int = 0):
+        if batch < 1:
+            raise HostError(f"batch must be >= 1, got {batch}")
+        self.batch = batch
+        self.idle_value = word.check(idle_value, "idle value")
+        self._queues: List[Deque[int]] = [deque() for _ in range(batch)]
+        self.delivered = [0] * batch
+        self.underruns = [0] * batch
+
+    def push(self, values, lane: Optional[int] = None) -> None:
+        """Queue words on one lane (or broadcast to all when None)."""
+        if isinstance(values, int):
+            values = [values]
+        checked = [word.check(int(v), "stream word") for v in values]
+        if lane is None:
+            for queue in self._queues:
+                queue.extend(checked)
+            return
+        if not 0 <= lane < self.batch:
+            raise HostError(
+                f"lane must be 0..{self.batch - 1}, got {lane}"
+            )
+        self._queues[lane].extend(checked)
+
+    def current(self) -> np.ndarray:
+        """The per-lane words presented on the port this cycle."""
+        out = np.empty(self.batch, dtype=np.int64)
+        for lane, queue in enumerate(self._queues):
+            if queue:
+                out[lane] = queue[0]
+            else:
+                self.underruns[lane] += 1
+                out[lane] = self.idle_value
+        return out
+
+    def advance(self) -> None:
+        """Clock edge: every non-empty lane consumes its word."""
+        for lane, queue in enumerate(self._queues):
+            if queue:
+                queue.popleft()
+                self.delivered[lane] += 1
+
+    def pending(self) -> int:
+        """Words still queued across all lanes."""
+        return sum(len(queue) for queue in self._queues)
+
+    def lane_pending(self, lane: int) -> int:
+        return len(self._queues[lane])
+
+    @property
+    def words_delivered(self) -> int:
+        """Total words actually consumed by the fabric (all lanes)."""
+        return sum(self.delivered)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchStreamChannel(lanes={self.batch}, "
+            f"pending={self.pending()}, delivered={self.words_delivered})"
         )
 
 
@@ -116,6 +202,11 @@ class OutputTap:
         """True once *limit* samples are collected."""
         return self.limit is not None and len(self.samples) >= self.limit
 
+    @property
+    def sample_count(self) -> int:
+        """Total words collected (all lanes)."""
+        return len(self.samples)
+
     def __repr__(self) -> str:
         return (
             f"OutputTap(D{self.layer}.{self.position}, "
@@ -123,30 +214,117 @@ class OutputTap:
         )
 
 
+class BatchOutputTap:
+    """Samples one Dnode's output register across every lane each cycle.
+
+    Same skip/every/limit schedule as :class:`OutputTap` (all lanes run
+    in lockstep, so one schedule serves the whole batch); the collected
+    streams are per lane: ``samples[lane]`` / :meth:`lane`.
+    """
+
+    def __init__(self, batch: int, layer: int, position: int,
+                 skip: int = 0, every: int = 1,
+                 limit: Optional[int] = None):
+        if batch < 1:
+            raise HostError(f"batch must be >= 1, got {batch}")
+        if skip < 0:
+            raise HostError(f"skip must be >= 0, got {skip}")
+        if every < 1:
+            raise HostError(f"every must be >= 1, got {every}")
+        if limit is not None and limit < 0:
+            raise HostError(f"limit must be >= 0, got {limit}")
+        self.batch = batch
+        self.layer = layer
+        self.position = position
+        self.skip = skip
+        self.every = every
+        self.limit = limit
+        self.samples: List[List[int]] = [[] for _ in range(batch)]
+        self._seen = 0
+
+    def observe(self, values) -> None:
+        """Record this cycle's per-lane output values (if selected)."""
+        self._seen += 1
+        if self._seen <= self.skip:
+            return
+        if (self._seen - self.skip - 1) % self.every != 0:
+            return
+        if self.limit is not None and len(self.samples[0]) >= self.limit:
+            return
+        for lane, value in enumerate(values):
+            self.samples[lane].append(int(value))
+
+    def lane(self, lane: int) -> List[int]:
+        """One lane's collected sample stream (a copy)."""
+        return list(self.samples[lane])
+
+    @property
+    def full(self) -> bool:
+        """True once *limit* samples are collected (per lane)."""
+        return self.limit is not None and len(self.samples[0]) >= self.limit
+
+    @property
+    def sample_count(self) -> int:
+        """Total words collected (all lanes)."""
+        return sum(len(stream) for stream in self.samples)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchOutputTap(D{self.layer}.{self.position}, "
+            f"lanes={self.batch}, samples={len(self.samples[0])}/lane)"
+        )
+
+
 class DataController:
-    """Bank of stream channels and output taps driven once per cycle."""
+    """Bank of stream channels and output taps driven once per cycle.
 
-    def __init__(self):
-        self._channels: Dict[int, StreamChannel] = {}
-        self.taps: List[OutputTap] = []
+    With ``batch > 1`` (the ring's batch backend) every channel is a
+    :class:`BatchStreamChannel` and every tap a :class:`BatchOutputTap`;
+    the per-cycle protocol is unchanged — ``host_in`` simply presents a
+    per-lane word array and taps collect one stream per lane.
+    """
 
-    def channel(self, index: int) -> StreamChannel:
+    def __init__(self, batch: int = 1):
+        if batch < 1:
+            raise HostError(f"batch must be >= 1, got {batch}")
+        self.batch = batch
+        self._channels: Dict[int, object] = {}
+        self.taps: List[object] = []
+
+    def channel(self, index: int):
         """The stream channel behind direct-port index (created on demand)."""
         if index < 0:
             raise HostError(f"channel index must be >= 0, got {index}")
         if index not in self._channels:
-            self._channels[index] = StreamChannel()
+            if self.batch > 1:
+                self._channels[index] = BatchStreamChannel(self.batch)
+            else:
+                self._channels[index] = StreamChannel()
         return self._channels[index]
 
-    def stream(self, index: int, values) -> StreamChannel:
-        """Queue *values* on channel *index* (convenience)."""
+    def stream(self, index: int, values, lane: Optional[int] = None):
+        """Queue *values* on channel *index* (convenience).
+
+        *lane* targets one lane of a batch channel; with the default
+        (None) a batch channel broadcasts the words to every lane.
+        """
         ch = self.channel(index)
-        ch.push(values)
+        if lane is None:
+            ch.push(values)
+        elif self.batch > 1:
+            ch.push(values, lane=lane)
+        else:
+            raise HostError(
+                f"lane={lane} requires a batch data controller"
+            )
         return ch
 
-    def add_tap(self, layer: int, position: int, **kwargs) -> OutputTap:
+    def add_tap(self, layer: int, position: int, **kwargs):
         """Attach an output tap to a Dnode; returns it for later reading."""
-        tap = OutputTap(layer, position, **kwargs)
+        if self.batch > 1:
+            tap = BatchOutputTap(self.batch, layer, position, **kwargs)
+        else:
+            tap = OutputTap(layer, position, **kwargs)
         self.taps.append(tap)
         return tap
 
@@ -172,14 +350,23 @@ class DataController:
             ch.advance()
 
     def collect(self, ring) -> None:
-        """Sample every tap from the post-edge fabric state."""
+        """Sample every tap from the post-edge fabric state.
+
+        Batch taps read the per-lane OUT values straight from the ring's
+        batch engine; scalar taps read the scalar OUT register.
+        """
+        if self.batch > 1:
+            engine = ring._ensure_batch()
+            for tap in self.taps:
+                tap.observe(engine.lane_outs(tap.layer, tap.position))
+            return
         for tap in self.taps:
             tap.observe(ring.dnode(tap.layer, tap.position).out)
 
     def total_words_in(self) -> int:
-        """Words actually streamed into the fabric so far."""
-        return sum(ch.delivered for ch in self._channels.values())
+        """Words actually streamed into the fabric so far (all lanes)."""
+        return sum(ch.words_delivered for ch in self._channels.values())
 
     def total_words_out(self) -> int:
-        """Samples collected across all taps so far."""
-        return sum(len(tap.samples) for tap in self.taps)
+        """Samples collected across all taps so far (all lanes)."""
+        return sum(tap.sample_count for tap in self.taps)

@@ -42,7 +42,10 @@ class RingSystem:
         self.ring = ring
         self.controller = controller
         self.planes: List[ConfigPlane] = list(planes or [])
-        self.data = DataController()
+        # A batch-backend ring gets a batch data controller: per-lane
+        # stream channels and output taps on the same direct ports.
+        batch = ring.batch_size if ring.backend == "batch" else 1
+        self.data = DataController(batch=batch)
         self.cycles = 0
         if controller is not None:
             width = ring.geometry.width

@@ -63,6 +63,23 @@ def _parse_tap(spec: str):
 def _cmd_run(args: argparse.Namespace) -> int:
     obj = ObjectCode.from_bytes(Path(args.object).read_bytes())
     system = load_system(obj)
+    if args.backend is not None:
+        if args.backend == "batch" and system.controller is not None:
+            print("error: --backend batch needs an uncontrolled program "
+                  "(the configuration controller drives one scalar "
+                  "fabric)", file=sys.stderr)
+            return 1
+        system.ring.set_backend(
+            args.backend,
+            args.batch_size if args.backend == "batch" else 1)
+        # Rebuild the data controller so channels/taps match the lane
+        # count (streams below are broadcast to every lane).
+        from repro.host.streams import DataController
+        system.data = DataController(batch=system.ring.batch_size)
+    elif args.batch_size != 1:
+        print("error: --batch-size requires --backend batch",
+              file=sys.stderr)
+        return 1
     total = 0
     for spec in args.stream or []:
         channel, values = _parse_stream(spec)
@@ -77,10 +94,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         system.run_until_halt(max_cycles=args.max_cycles)
     else:
         system.run(cycles)
-    print(f"ran {system.cycles} cycles")
+    batch = system.ring.batch_size if system.ring.backend == "batch" else 1
+    if batch > 1:
+        print(f"ran {system.cycles} cycles x {batch} lanes "
+              f"({system.cycles * batch} lane-cycles)")
+    else:
+        print(f"ran {system.cycles} cycles")
     for spec, tap in taps:
-        values = [word.to_signed(v) for v in tap.samples]
-        print(f"tap {spec}: {values}")
+        if batch > 1:
+            for lane in range(batch):
+                values = [word.to_signed(v) for v in tap.lane(lane)]
+                print(f"tap {spec} lane {lane}: {values}")
+        else:
+            values = [word.to_signed(v) for v in tap.samples]
+            print(f"tap {spec}: {values}")
     if args.metrics:
         snapshot = system.metrics()
         text = (snapshot.to_prometheus() if args.metrics_format == "prom"
@@ -123,6 +150,14 @@ def main(argv=None) -> int:
     p_run.add_argument("--cycles", type=int, default=None,
                        help="run exactly N cycles instead of to HALT")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
+    p_run.add_argument("--backend",
+                       choices=("interpreter", "fastpath", "batch"),
+                       default=None,
+                       help="execution engine (default: the ring's own; "
+                            "'batch' advances --batch-size streams at "
+                            "once, streams broadcast to every lane)")
+    p_run.add_argument("--batch-size", type=int, default=1, metavar="N",
+                       help="lane count for --backend batch")
     p_run.add_argument("--metrics", default=None, metavar="PATH",
                        help="export run metrics (counters, FIFO high-water "
                             "marks, controller stalls) to PATH")

@@ -1,0 +1,212 @@
+"""Differential fuzzing: every backend, bit-identical, per lane.
+
+The batch backend's whole claim is *bit-identity*: B lanes advanced by
+NumPy kernels must be indistinguishable from B scalar rings run one
+after another, which in turn must match the interpreter.  These property
+tests draw random fabric shapes, microprograms, routes, FIFO loads and
+host streams (reusing the spec generators of ``test_fuzz.py``), run the
+same configuration on the interpreter, the compiled fast path and one
+batch engine, and compare the complete architectural state per lane:
+Dnode outputs and register files, switch feedback pipelines, FIFO
+contents and pop/underflow accounting, and the activity statistics.
+
+The suite is derandomized (pinned example sequence, no deadline) so CI
+runs are reproducible; the classes together exercise 200+ examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import word
+from repro.core import alu
+from repro.core.batchpath import LANE_DTYPE, batch_execute_op
+from repro.core.isa import ACCUMULATING_OPS, Opcode
+from repro.core.ring import Ring, RingGeometry
+
+from tests.core.test_fuzz import build_ring, ring_specs
+
+_SETTINGS = dict(deadline=None, derandomize=True)
+
+
+def _host_value(seed: int, channel: int, cycle: int, lane: int) -> int:
+    """Deterministic per-channel, per-cycle, per-lane host stimulus."""
+    return (seed + 131 * channel + 7 * cycle + 1009 * lane) & 0xFFFF
+
+
+def _lane_fifo_extra(seed: int, layer: int, pos: int, channel: int,
+                     lane: int):
+    """A small lane-specific FIFO load (so lanes genuinely diverge)."""
+    base = seed ^ (7919 * lane + 131 * layer + 17 * pos + channel)
+    return [(base + i * 257) & 0xFFFF for i in range(lane % 3)]
+
+
+def _state(ring: Ring) -> dict:
+    """The complete observable architectural state of a scalar ring."""
+    g = ring.geometry
+    return {
+        "cycles": ring.cycles,
+        "outs": [dn.out for dn in ring.all_dnodes()],
+        "regs": [dn.regs.snapshot() for dn in ring.all_dnodes()],
+        "pipes": [[ring.switch(k).rp_read(stage, lane)
+                   for stage in range(1, 5)
+                   for lane in range(1, g.width + 1)]
+                  for k in range(g.layers)],
+        # Empty deques are created lazily on first touch, so their mere
+        # presence in the dict differs across engines; only contents are
+        # architectural.
+        "fifos": {key: list(queue)
+                  for key, queue in sorted(ring._fifos.items()) if queue},
+        "underflows": ring.fifo_underflows,
+        "stats": [(dn.stats.cycles, dn.stats.instructions,
+                   dn.stats.arithmetic_ops, dn.stats.multiplies,
+                   dn.stats.fifo_pops) for dn in ring.all_dnodes()],
+    }
+
+
+def _scalar_lane_ring(spec: dict, seed: int, lane: int,
+                      fastpath: bool) -> Ring:
+    ring = build_ring(spec, fastpath=fastpath)
+    for layer, pos, _mw, _local, _routes, loads in spec["cells"]:
+        for channel in loads:
+            ring.push_fifo(layer, pos, channel,
+                           _lane_fifo_extra(seed, layer, pos, channel,
+                                            lane))
+    return ring
+
+
+def _batch_ring(spec: dict, seed: int, batch: int) -> Ring:
+    ring = build_ring(spec, backend="batch", batch_size=batch)
+    engine = ring.batch
+    for layer, pos, _mw, _local, _routes, loads in spec["cells"]:
+        for channel in loads:
+            for lane in range(batch):
+                engine.push_fifo(
+                    layer, pos, channel,
+                    _lane_fifo_extra(seed, layer, pos, channel, lane),
+                    lane=lane)
+    return ring
+
+
+def _run_lane_scalar(spec, seed, lane, cycles, bus, fastpath):
+    ring = _scalar_lane_ring(spec, seed, lane, fastpath=fastpath)
+    ring.run(cycles, bus=bus,
+             host_in=lambda ch: _host_value(seed, ch, ring.cycles, lane))
+    return ring
+
+
+def _batch_host_in(ring: Ring, seed: int, batch: int):
+    def host_in(channel: int) -> np.ndarray:
+        return np.array(
+            [_host_value(seed, channel, ring.cycles, lane)
+             for lane in range(batch)], dtype=np.int64)
+    return host_in
+
+
+def _extract_lane(batch_ring: Ring, lane: int) -> dict:
+    target = Ring(batch_ring.geometry)
+    batch_ring.batch.store_lane(lane, target)
+    return _state(target)
+
+
+class TestDifferentialBackends:
+    """interpreter == fastpath == every batch lane, full state."""
+
+    @given(spec=ring_specs(min_layers=2, max_layers=5, min_width=1,
+                           max_width=2, max_local=6),
+           batch=st.integers(min_value=1, max_value=3),
+           cycles=st.integers(min_value=1, max_value=20),
+           seed=st.integers(min_value=0, max_value=0xFFFF),
+           bus=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=120, **_SETTINGS)
+    def test_full_state_identity(self, spec, batch, cycles, seed, bus):
+        bring = _batch_ring(spec, seed, batch)
+        bring.run(cycles, bus=bus,
+                  host_in=_batch_host_in(bring, seed, batch))
+        for lane in range(batch):
+            interp = _run_lane_scalar(spec, seed, lane, cycles, bus,
+                                      fastpath=False)
+            fast = _run_lane_scalar(spec, seed, lane, cycles, bus,
+                                    fastpath=True)
+            want = _state(interp)
+            assert _state(fast) == want, f"fastpath diverged on {lane}"
+            assert _extract_lane(bring, lane) == want, (
+                f"batch lane {lane} diverged"
+            )
+
+    @given(spec=ring_specs(min_layers=2, max_layers=4, min_width=1,
+                           max_width=2, max_local=4),
+           batch=st.integers(min_value=2, max_value=3),
+           chunks=st.lists(st.integers(min_value=1, max_value=8),
+                           min_size=2, max_size=4),
+           seed=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=60, **_SETTINGS)
+    def test_chunked_runs_match_one_shot(self, spec, batch, chunks, seed):
+        """run()/step() interleaving never perturbs lane state.
+
+        The batch engine syncs lane 0 back to the scalar ring between
+        chunks; a writeback or resync bug would compound across chunk
+        boundaries and show up against the single uninterrupted run.
+        """
+        total = sum(chunks)
+        one_shot = _batch_ring(spec, seed, batch)
+        one_shot.run(total, host_in=_batch_host_in(one_shot, seed, batch))
+
+        chunked = _batch_ring(spec, seed, batch)
+        host_in = _batch_host_in(chunked, seed, batch)
+        for chunk in chunks:
+            chunked.run(chunk - 1, host_in=host_in)
+            chunked.step(host_in=host_in)
+        for lane in range(batch):
+            assert (_extract_lane(chunked, lane)
+                    == _extract_lane(one_shot, lane)), (
+                f"chunked run diverged on lane {lane}"
+            )
+
+
+_BOUNDARY = [0x0000, 0x0001, 0x7FFE, 0x7FFF, 0x8000, 0x8001, 0xFFFF]
+_words = st.one_of(st.sampled_from(_BOUNDARY),
+                   st.integers(min_value=0, max_value=0xFFFF))
+
+
+class TestSignedOverflowAudit:
+    """Scalar ALU vs NumPy batch kernels at the INT16 boundaries."""
+
+    @given(op=st.sampled_from(list(Opcode)), a=_words, b=_words,
+           acc=_words, imm=_words)
+    @settings(max_examples=150, **_SETTINGS)
+    def test_batch_kernel_matches_scalar_alu(self, op, a, b, acc, imm):
+        expected = alu.execute_op(op, a, b, acc=acc, imm=imm)
+        lanes = np.array([a, a, a], dtype=LANE_DTYPE)
+        got = batch_execute_op(op, lanes,
+                               np.full(3, b, dtype=LANE_DTYPE),
+                               acc=np.full(3, acc, dtype=LANE_DTYPE),
+                               imm=imm)
+        got = np.asarray(got)
+        assert got.shape == (3,)
+        assert (got == expected).all(), (
+            f"{op.name}(a={a:#06x}, b={b:#06x}, acc={acc:#06x}, "
+            f"imm={imm:#06x}): scalar {expected:#06x}, batch {got}"
+        )
+        for value in got.tolist():
+            assert word.is_valid(value)
+
+    @pytest.mark.parametrize("op", [Opcode.ADD, Opcode.SUB, Opcode.MUL,
+                                    Opcode.MAC])
+    def test_exhaustive_boundary_sweep(self, op):
+        """Every boundary-value combination, element-wise in one array."""
+        grid = [(a, b, acc) for a in _BOUNDARY for b in _BOUNDARY
+                for acc in (_BOUNDARY if op in ACCUMULATING_OPS
+                            else [0])]
+        a = np.array([g[0] for g in grid], dtype=LANE_DTYPE)
+        b = np.array([g[1] for g in grid], dtype=LANE_DTYPE)
+        acc = np.array([g[2] for g in grid], dtype=LANE_DTYPE)
+        got = np.asarray(batch_execute_op(op, a, b, acc=acc))
+        for i, (av, bv, accv) in enumerate(grid):
+            expected = alu.execute_op(op, av, bv, acc=accv)
+            assert int(got[i]) == expected, (
+                f"{op.name}(a={av:#06x}, b={bv:#06x}, acc={accv:#06x}): "
+                f"scalar {expected:#06x}, batch {int(got[i]):#06x}"
+            )

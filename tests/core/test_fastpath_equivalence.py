@@ -218,6 +218,54 @@ def test_midrun_reconfiguration_invalidates_plan(seed):
     assert _state(reference) == _state(fast)
 
 
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("batch_size", [1, 3])
+def test_midrun_reconfiguration_all_backends(seed, batch_size):
+    """Reconfigure mid-run under all three engines, batch included.
+
+    The batch engine must drop its compiled kernels on any configuration
+    write (via the ring's invalidation listeners), keep the lane state,
+    recompile exactly once on the next run, and end bit-identical to the
+    interpreter and the scalar fast path — on every lane (the host
+    stimulus is broadcast, so all lanes mirror the scalar run).
+    """
+    geometry = RingGeometry(layers=4, width=2)
+    reference = Ring(geometry, fastpath=False)
+    fast = Ring(geometry, fastpath=True)
+    batch = Ring(geometry, backend="batch", batch_size=batch_size)
+    rings = (reference, fast, batch)
+    hosts = [_HostLog() for _ in rings]
+    for ring in rings:
+        _apply_random_config(ring, random.Random(seed))
+    for ring, host in zip(rings, hosts):
+        ring.run(15, host_in=host)
+    engine = batch._batch_engine
+    assert engine is not None and engine._kernels is not None
+    compiles = engine.compiles
+    invalidations = engine.invalidations
+    ring_invalidations = batch.plan_invalidations
+    for ring in rings:
+        _apply_random_config(ring, random.Random(seed + 1000))
+    assert fast._plan is None, "reconfiguration must drop the plan"
+    assert engine._kernels is None, (
+        "reconfiguration must drop the batch kernels"
+    )
+    assert engine.invalidations > invalidations
+    assert batch.plan_invalidations > ring_invalidations
+    for ring, host in zip(rings, hosts):
+        ring.run(15, host_in=host)
+    assert engine.compiles == compiles + 1, "one recompile, once stable"
+    assert hosts[1].calls == hosts[0].calls
+    assert hosts[2].calls == hosts[0].calls
+    want = _state(reference)
+    assert _state(fast) == want
+    assert _state(batch) == want  # lane 0, written back by run()
+    for lane in range(batch_size):
+        target = Ring(geometry)
+        engine.store_lane(lane, target)
+        assert _state(target) == want, f"lane {lane} diverged"
+
+
 @pytest.mark.parametrize("seed", range(5))
 def test_reset_midstream_stays_equivalent(seed):
     # reset() clears registers/pipelines/FIFOs *in place*, so an existing

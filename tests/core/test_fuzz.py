@@ -12,42 +12,96 @@ from hypothesis import given, settings, strategies as st
 
 from repro import word
 from repro.core.dnode import DnodeMode
+from repro.core.isa import MicroWord, Source
 from repro.core.ring import Ring, RingGeometry
 from repro.core.switch import PortSource
 
 from tests.core.test_isa import microwords
 
-_port_sources = st.one_of(
-    st.just(PortSource.zero()),
-    st.just(PortSource.bus()),
-    st.integers(min_value=0, max_value=1).map(PortSource.up),
-    st.integers(min_value=0, max_value=3).map(PortSource.host),
-    st.tuples(st.integers(min_value=1, max_value=4),
-              st.integers(min_value=1, max_value=2)).map(
-        lambda t: PortSource.rp(*t)),
-)
+
+def port_sources(width: int = 2):
+    """Strategy over every legal route for a switch of *width* lanes."""
+    return st.one_of(
+        st.just(PortSource.zero()),
+        st.just(PortSource.bus()),
+        st.integers(min_value=0, max_value=width - 1).map(PortSource.up),
+        st.integers(min_value=0, max_value=3).map(PortSource.host),
+        st.tuples(st.integers(min_value=1, max_value=4),
+                  st.integers(min_value=1, max_value=width)).map(
+            lambda t: PortSource.rp(*t)),
+    )
+
+
+def _legal_source(src: Source, width: int) -> Source:
+    """Clamp a feedback-tap source to the lanes this fabric has."""
+    if src.is_feedback and src.feedback_lane > width:
+        return Source.rp(src.feedback_stage, 1)
+    return src
+
+
+def _legal_word(mw: MicroWord, width: int) -> MicroWord:
+    return MicroWord(op=mw.op, src_a=_legal_source(mw.src_a, width),
+                     src_b=_legal_source(mw.src_b, width), dst=mw.dst,
+                     flags=mw.flags, imm=mw.imm)
 
 
 @st.composite
-def fuzzed_rings(draw):
-    ring = Ring(RingGeometry.ring(8))
-    for layer in range(4):
-        for pos in range(2):
-            ring.config.write_microword(layer, pos, draw(microwords()))
+def ring_specs(draw, min_layers: int = 4, max_layers: int = 4,
+               min_width: int = 2, max_width: int = 2,
+               max_local: int = 8, fifo_loads: bool = True):
+    """A replayable random fabric configuration.
+
+    The spec is plain data so the *same* drawn configuration can be
+    applied to several rings — one per execution backend — which is what
+    the differential suite (``test_differential.py``) needs.  Returns::
+
+        {"layers": L, "width": W, "cells": [(layer, pos, microword,
+          local_program_or_None, {port: route}, {channel: fifo_words})]}
+    """
+    layers = draw(st.integers(min_layers, max_layers))
+    width = draw(st.integers(min_width, max_width))
+    cells = []
+    for layer in range(layers):
+        for pos in range(width):
+            mw = _legal_word(draw(microwords()), width)
+            local = None
             if draw(st.booleans()):
-                program = draw(st.lists(microwords(), min_size=1,
-                                        max_size=8))
-                ring.config.write_local_program(layer, pos, program)
-                ring.config.write_mode(layer, pos, DnodeMode.LOCAL)
-            for port in (1, 2):
-                ring.config.write_switch_route(
-                    layer, pos, port, draw(_port_sources))
-            if draw(st.booleans()):
-                ring.push_fifo(layer, pos, 1, draw(st.lists(
-                    st.integers(0, 0xFFFF), max_size=8)))
-                ring.push_fifo(layer, pos, 2, draw(st.lists(
-                    st.integers(0, 0xFFFF), max_size=8)))
+                local = [_legal_word(w, width) for w in draw(
+                    st.lists(microwords(), min_size=1,
+                             max_size=max_local))]
+            routes = {port: draw(port_sources(width)) for port in (1, 2)}
+            loads = {}
+            if fifo_loads and draw(st.booleans()):
+                for channel in (1, 2):
+                    loads[channel] = draw(st.lists(
+                        st.integers(0, 0xFFFF), max_size=8))
+            cells.append((layer, pos, mw, local, routes, loads))
+    return {"layers": layers, "width": width, "cells": cells}
+
+
+def apply_spec(ring: Ring, spec: dict) -> Ring:
+    """Configure *ring* (and load its FIFOs) as the spec describes."""
+    for layer, pos, mw, local, routes, loads in spec["cells"]:
+        ring.config.write_microword(layer, pos, mw)
+        if local is not None:
+            ring.config.write_local_program(layer, pos, local)
+            ring.config.write_mode(layer, pos, DnodeMode.LOCAL)
+        for port, route in routes.items():
+            ring.config.write_switch_route(layer, pos, port, route)
+        for channel, values in loads.items():
+            ring.push_fifo(layer, pos, channel, values)
     return ring
+
+
+def build_ring(spec: dict, **ring_kwargs) -> Ring:
+    """A fresh ring of the spec's shape, configured and loaded."""
+    geometry = RingGeometry(layers=spec["layers"], width=spec["width"])
+    return apply_spec(Ring(geometry, **ring_kwargs), spec)
+
+
+def fuzzed_rings():
+    """The historical Ring-8 robustness strategy (spec-backed)."""
+    return ring_specs().map(build_ring)
 
 
 class TestFuzzedFabrics:

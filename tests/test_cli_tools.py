@@ -16,11 +16,29 @@ switch 0
 """
 
 
+SRC_UNCONTROLLED = """
+.ring boot
+dnode 0.0 global
+    add out, in1, #5
+switch 0
+    route 0.1 <- host0
+"""
+
+
 @pytest.fixture
 def asm_file(tmp_path):
     path = tmp_path / "prog.asm"
     path.write_text(SRC)
     return path
+
+
+@pytest.fixture
+def ring_obj(tmp_path, capsys):
+    path = tmp_path / "ring.asm"
+    path.write_text(SRC_UNCONTROLLED)
+    main(["asm", str(path)])
+    capsys.readouterr()
+    return path.with_suffix(".obj")
 
 
 class TestAsmCommand:
@@ -100,6 +118,61 @@ class TestRunCommand:
         text = metrics.read_text()
         assert "# TYPE repro_ring_cycles_total counter" in text
         assert "repro_ring_cycles_total 5" in text
+
+
+class TestRunBatchBackend:
+    def test_batch_run_prints_per_lane_taps(self, ring_obj, capsys):
+        code = main(["run", str(ring_obj),
+                     "--backend", "batch", "--batch-size", "4",
+                     "--stream", "0:10,20,30", "--tap", "0.0:3",
+                     "--cycles", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran 6 cycles x 4 lanes (24 lane-cycles)" in out
+        # The stream is broadcast, so every lane computes the same result.
+        for lane in range(4):
+            assert f"tap 0.0:3 lane {lane}: [15, 25, 35]" in out
+
+    def test_batch_matches_scalar_backends(self, ring_obj, capsys):
+        def tap_lines(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return [line.partition(": ")[2]
+                    for line in out.splitlines() if "tap" in line]
+
+        scalar = tap_lines(["run", str(ring_obj), "--stream", "0:7,8,9",
+                            "--tap", "0.0:3", "--cycles", "5"])
+        batch = tap_lines(["run", str(ring_obj), "--stream", "0:7,8,9",
+                           "--tap", "0.0:3", "--cycles", "5",
+                           "--backend", "batch", "--batch-size", "2"])
+        assert batch == scalar * 2
+
+    def test_batch_metrics_exported(self, ring_obj, tmp_path, capsys):
+        import json
+        metrics = tmp_path / "batch.json"
+        code = main(["run", str(ring_obj),
+                     "--backend", "batch", "--batch-size", "3",
+                     "--stream", "0:1,2", "--tap", "0.0:2",
+                     "--cycles", "4", "--metrics", str(metrics)])
+        assert code == 0
+        capsys.readouterr()
+        data = json.loads(metrics.read_text())
+        assert data["batch_lanes"] == 3
+        assert data["batch_plan_compiles_total"] == 1
+        assert "lane=2" in data["batch_lane_fifo_underflows_total"]
+
+    def test_batch_rejects_controller_program(self, asm_file, capsys):
+        main(["asm", str(asm_file)])
+        capsys.readouterr()
+        code = main(["run", str(asm_file.with_suffix(".obj")),
+                     "--backend", "batch", "--batch-size", "2"])
+        assert code == 1
+        assert "uncontrolled" in capsys.readouterr().err
+
+    def test_batch_size_requires_batch_backend(self, ring_obj, capsys):
+        code = main(["run", str(ring_obj), "--batch-size", "2"])
+        assert code == 1
+        assert "--backend batch" in capsys.readouterr().err
 
 
 class TestReportCommand:
