@@ -75,6 +75,11 @@ def _measure() -> dict:
 
     for batch in (1, 8, BATCH):
         ring = _fir_ring(backend="batch", batch_size=batch)
+        if batch == 1:
+            # B=1 now rides the scalar fast path unless the vector engine
+            # is explicitly engaged; this point measures the engine's
+            # per-lane overhead, so engage it.
+            ring.batch
         ring.run(4, host_in=_host_zero)
         assert ring._batch_engine is not None
         assert ring._batch_engine._kernels is not None

@@ -156,6 +156,18 @@ class MetricsRegistry:
             ("ring_plan_invalidations_total", "counter",
              "Compiled plans dropped by reconfiguration.",
              ring.plan_invalidations),
+            ("plan_cache_hits_total", "counter",
+             "Compiled plans re-adopted from the fingerprint cache.",
+             self._cache_counter("hits")),
+            ("plan_cache_misses_total", "counter",
+             "Fingerprint cache lookups that found no plan.",
+             self._cache_counter("misses")),
+            ("plan_cache_evictions_total", "counter",
+             "Cached plans evicted by the LRU capacity bound.",
+             self._cache_counter("evictions")),
+            ("macro_step_cycles_total", "counter",
+             "Cycles executed inside fused macro-step kernels.",
+             getattr(ring, "macro_cycles", 0)),
             ("ring_config_writes_total", "counter",
              "Configuration words written through ConfigMemory.",
              ring.config.writes),
@@ -171,6 +183,18 @@ class MetricsRegistry:
         ]
         return [Metric(name, kind, help_, (((), float(value)),))
                 for name, kind, help_, value in scalar]
+
+    def _cache_counter(self, attr: str) -> int:
+        """One plan-cache counter summed over the ring's cache and the
+        batch engine's kernel cache (both key by the same fingerprints)."""
+        total = 0
+        cache = getattr(self.ring, "plan_cache", None)
+        if cache is not None:
+            total += getattr(cache, attr)
+        engine = getattr(self.ring, "_batch_engine", None)
+        if engine is not None:
+            total += getattr(engine.plan_cache, attr)
+        return total
 
     def _dnode_metrics(self) -> List[Metric]:
         dnodes = self.ring.all_dnodes()

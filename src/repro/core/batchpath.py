@@ -63,6 +63,7 @@ from repro.core.isa import (
     MicroWord,
     Opcode,
 )
+from repro.core.plancache import PlanCache
 from repro.core.regfile import NUM_REGISTERS
 from repro.core.switch import PortKind, Switch
 from repro.errors import ConfigurationError, SimulationError
@@ -318,7 +319,12 @@ class BatchRing:
         self.invalidations = 0
         self._kernels = None
         self._stat_plan: Tuple = ()
-        self._all_stats: Tuple = ()
+        self._all_stats: Tuple = tuple(dn.stats for dn in ring.all_dnodes())
+        #: Engine-owned kernel cache, keyed by the ring's configuration
+        #: fingerprint.  Owned (not the ring's cache) because kernels
+        #: close over *this* engine's lane arrays and FIFO objects — an
+        #: entry must never outlive the engine or survive a resync.
+        self.plan_cache = PlanCache(ring.plan_cache.capacity)
         self._detached = False
         ring.add_invalidation_listener(self._on_config_change)
         self.resync()
@@ -366,6 +372,13 @@ class BatchRing:
             self._fifos[key] = fifo
         self.lane_underflows[:] = ring.fifo_underflows
         self._kernels = None
+        # Compiled kernels close over the _BatchFifo objects just
+        # replaced above, so every cached entry is stale.
+        self.plan_cache.clear()
+
+    def set_plan_cache(self, capacity: int) -> None:
+        """Resize (or with 0, disable) the engine's kernel cache."""
+        self.plan_cache = PlanCache(capacity)
 
     # -- lane state access --------------------------------------------
 
@@ -433,7 +446,7 @@ class BatchRing:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
         word.check(bus, "bus value")
         if self._kernels is None:
-            self._compile()
+            self._adopt_kernels()
         evals, shift, commits = self._kernels
         ring = self.ring
         ring.last_bus = bus
@@ -568,15 +581,38 @@ class BatchRing:
 
     # -- compilation ---------------------------------------------------
 
+    def _adopt_counters(self) -> None:
+        """Adopt the ring's local-slot counters into the lane cells.
+
+        Configuration writes since the last compile may have reset them
+        (load_program) or clamped them under a shrunken LIMIT
+        (set_limit), and those side effects happen ring-side only.  Must
+        run on every kernel (re)adoption, cached or freshly compiled.
+        """
+        ring = self.ring
+        for (l, p), cell in self._counters.items():
+            cell[0] = ring._dnodes[l][p].local._counter
+
+    def _adopt_kernels(self) -> None:
+        """Install kernels for the current configuration: cache, else
+        compile (and cache the result)."""
+        cache = self.plan_cache
+        if not cache.capacity:
+            self._compile()
+            return
+        key = ("batch", self.ring.config_fingerprint())
+        entry = cache.get(key)
+        if entry is not None:
+            self._kernels, self._stat_plan = entry
+            self._adopt_counters()
+            return
+        self._compile()
+        cache.put(key, (self._kernels, self._stat_plan))
+
     def _compile(self) -> None:
         ring = self.ring
         g = ring.geometry
-        # Adopt the ring's local-slot counters: configuration writes
-        # since the last compile may have reset them (load_program) or
-        # clamped them under a shrunken LIMIT (set_limit), and those
-        # side effects happen ring-side only.
-        for (l, p), cell in self._counters.items():
-            cell[0] = ring._dnodes[l][p].local._counter
+        self._adopt_counters()
         evals = []
         commits = []
         stat_plan = []
@@ -605,7 +641,6 @@ class BatchRing:
 
         self._kernels = (tuple(evals), shift, tuple(commits))
         self._stat_plan = tuple(stat_plan)
-        self._all_stats = tuple(dn.stats for dn in ring.all_dnodes())
         self.compiles += 1
         ring.plan_compiles += 1
 

@@ -119,11 +119,33 @@ class Dnode:
         #: (microword, mode, or local-sequencer contents).  The owning ring
         #: points this at its fast-path invalidator.
         self.on_config_change: Optional[Callable[[], None]] = None
+        #: Cached configuration fingerprint (see config_fingerprint()).
+        self._config_fp: Optional[tuple] = None
         self.local.on_change = self._config_changed
 
     def _config_changed(self) -> None:
+        self._config_fp = None
         if self.on_config_change is not None:
             self.on_config_change()
+
+    def config_fingerprint(self) -> tuple:
+        """A stable, hashable digest of everything that selects execution.
+
+        Covers exactly the configuration state a compiled plan depends on:
+        the mode bit plus either the global microword or the local
+        sequencer's LIMIT and *active* slots (writes to slots at or above
+        LIMIT cannot execute, so they do not perturb the fingerprint).
+        Cached until the next configuration mutation.
+        """
+        fp = self._config_fp
+        if fp is None:
+            if self._mode is DnodeMode.GLOBAL:
+                fp = (0, self._global_word)
+            else:
+                limit = self.local._limit
+                fp = (1, limit, tuple(self.local._slots[:limit]))
+            self._config_fp = fp
+        return fp
 
     # ------------------------------------------------------------------
     # Configuration interface (used by the configuration layer/controller)

@@ -37,6 +37,15 @@ Two execution engines drive the same semantics:
   whenever the configuration has been stable for a full cycle.  Every
   configuration mutation invalidates it, so reconfiguration always takes
   effect on the very next cycle, exactly as before.
+
+Two compounding layers sit on top (see ``docs/architecture.md``, "Plan
+cache & macro-stepping"): compiled plans are retained in an LRU
+:class:`~repro.core.plancache.PlanCache` keyed by
+:meth:`Ring.config_fingerprint`, so multiplexing between known
+configurations re-adopts each plan in one lookup instead of recompiling;
+and ``macro_step=K`` fuses steady-state runs into generated kernels
+(:mod:`repro.core.macropath`) that pay Python dispatch once per
+sequencer period instead of once per Dnode per cycle.
 """
 
 from __future__ import annotations
@@ -52,8 +61,14 @@ from repro.core.config_memory import ConfigMemory
 from repro.core.dnode import Dnode, DnodeInputs, DnodeMode
 from repro.core.fastpath import compile_plan
 from repro.core.isa import FEEDBACK_DEPTH
+from repro.core.macropath import compile_macro
+from repro.core.plancache import DEFAULT_CAPACITY, PlanCache
 from repro.core.switch import PortKind, PortSource, Switch
 from repro.errors import ConfigurationError, SimulationError
+
+#: Sentinel cached on ``Ring._macro`` when the current configuration is
+#: not eligible for macro-step fusion (period too large to unroll).
+_MACRO_INELIGIBLE = object()
 
 HostReader = Callable[[int], int]
 
@@ -220,7 +235,9 @@ class Ring:
                  strict_fifos: bool = False,
                  fastpath: bool = True,
                  backend: Optional[str] = None,
-                 batch_size: int = 1):
+                 batch_size: int = 1,
+                 plan_cache: int = DEFAULT_CAPACITY,
+                 macro_step: int = 0):
         self.geometry = geometry
         self.strict_fifos = strict_fifos
         if backend is None:
@@ -239,9 +256,30 @@ class Ring:
                 f"batch_size {batch_size} requires backend='batch', "
                 f"got {backend!r}"
             )
+        if macro_step < 0:
+            raise ConfigurationError(
+                f"macro step must be >= 0, got {macro_step}"
+            )
         self.backend = backend
         self.batch_size = batch_size
-        self.fastpath_enabled = backend == "fastpath"
+        # The scalar fast path also backs batch mode at B=1: one lane of
+        # NumPy-array indexing is strictly slower than the scalar plan
+        # (~6x in BENCH_batch.json), and the lane-0 writeback contract is
+        # trivially the scalar state itself.  The vector engine is only
+        # engaged at B>1 or once `ring.batch` has been handed out.
+        self.fastpath_enabled = (backend == "fastpath"
+                                 or (backend == "batch" and batch_size == 1))
+        #: Configuration-fingerprinted LRU cache of compiled plans (and
+        #: macro kernels).  Capacity 0 disables caching entirely.
+        self.plan_cache = PlanCache(plan_cache)
+        #: Macro-step fusion target: 0/1 = off, K>1 = fuse runs of at
+        #: least K steady-state cycles into generated macro kernels.
+        self.macro_step = macro_step
+        #: Cycles executed by fused macro kernels (coverage metric).
+        self.macro_cycles = 0
+        # Active macro kernel for the current configuration + entry phase
+        # (None = not compiled, _MACRO_INELIGIBLE = period too large).
+        self._macro = None
         self._dnodes: List[List[Dnode]] = [
             [Dnode(layer, pos) for pos in range(geometry.width)]
             for layer in range(geometry.layers)
@@ -347,9 +385,31 @@ class Ring:
             self._batch_engine = None
         self.backend = backend
         self.batch_size = batch_size
-        self.fastpath_enabled = backend == "fastpath"
+        self.fastpath_enabled = (backend == "fastpath"
+                                 or (backend == "batch" and batch_size == 1))
         self._plan = None
+        self._macro = None
         self._config_dirty = True
+
+    def set_plan_cache(self, capacity: int) -> None:
+        """Resize (or with 0, disable) the compiled-plan cache.
+
+        Replaces the cache, so existing entries and lifetime counters are
+        dropped; the active plan (if any) is unaffected.  The batch
+        engine's kernel cache is resized to match.
+        """
+        self.plan_cache = PlanCache(capacity)
+        if self._batch_engine is not None:
+            self._batch_engine.set_plan_cache(capacity)
+
+    def set_macro_step(self, macro_step: int) -> None:
+        """Set the macro-step fusion target (0/1 disables fusion)."""
+        if macro_step < 0:
+            raise ConfigurationError(
+                f"macro step must be >= 0, got {macro_step}"
+            )
+        self.macro_step = macro_step
+        self._macro = None
 
     def add_invalidation_listener(
             self, listener: Callable[[], None]) -> None:
@@ -572,7 +632,8 @@ class Ring:
         """
         word.check(bus, "bus value")
         self.last_bus = bus
-        if self.backend == "batch":
+        if self.backend == "batch" and (self.batch_size > 1
+                                        or self._batch_engine is not None):
             engine = self._ensure_batch()
             engine.run(1, bus, host_in)
             engine.store_lane(0)
@@ -580,6 +641,8 @@ class Ring:
                 self._trace(self)
             return
         plan = self._plan
+        if plan is None and self.fastpath_enabled:
+            plan = self._adopt_cached_plan()
         if plan is not None:
             self._run_plan(plan, 1, bus, host_in)
             if self._trace is not None:
@@ -657,28 +720,136 @@ class Ring:
         Wired into every configuration write path — Dnode microwords and
         modes, local-sequencer slots and LIMIT, switch routing, and thereby
         every :class:`~repro.core.config_memory.ConfigMemory` write.
+
+        The dropped plan stays in :attr:`plan_cache`: the next cycle
+        looks the new configuration up by fingerprint and re-adopts a
+        cached plan with zero interpreted cycles when it was seen before.
         """
         if self._plan is not None:
             self._plan = None
             self.plan_invalidations += 1
+        self._macro = None
         self._config_dirty = True
         for listener in self._invalidation_listeners:
             listener()
+
+    def config_fingerprint(self) -> tuple:
+        """Stable, hashable digest of the full fabric configuration.
+
+        Concatenates every Dnode's fingerprint (mode + executable
+        microwords, layer-major order) with every switch's routing
+        fingerprint.  Each component caches its own tuple and drops it on
+        mutation, so this is O(components) tuple packing per call with no
+        re-hashing of unchanged parts.
+        """
+        return (
+            tuple(dn.config_fingerprint()
+                  for layer in self._dnodes for dn in layer),
+            tuple(sw.config.fingerprint() for sw in self._switches),
+        )
+
+    def _adopt_cached_plan(self):
+        """Plan-cache lookup for the current configuration.
+
+        On a hit the cached plan is adopted immediately — including on
+        the first cycle after a reconfiguration, which previously always
+        interpreted.  On a miss while the configuration is freshly
+        mutated, a fingerprint that has missed before is evidently part
+        of a multiplexing working set and is compiled eagerly; a
+        first-time fingerprint keeps the legacy deferred policy (so a
+        never-repeating per-cycle reconfiguration stream still compiles
+        nothing).
+        """
+        cache = self.plan_cache
+        if not cache.capacity:
+            return None
+        key = ("plan", self.config_fingerprint())
+        plan = cache.get(key)
+        if plan is None and self._config_dirty and cache.note_miss(key):
+            plan = self._compile_plan_timed()
+            cache.put(key, plan)
+        if plan is not None:
+            self._plan = plan
+            self._config_dirty = False
+        return plan
+
+    def _compile_plan_timed(self):
+        """Compile a fast-path plan for the current configuration."""
+        profile = self._profile
+        if profile is None:
+            plan = compile_plan(self)
+        else:
+            began = perf_counter()
+            plan = compile_plan(self)
+            profile.compile_seconds += perf_counter() - began
+            profile.plan_compiles += 1
+        self.plan_compiles += 1
+        return plan
 
     def _maybe_compile(self) -> None:
         """Compile a plan once the configuration survived a stable cycle."""
         if self._config_dirty:
             self._config_dirty = False
         elif self.fastpath_enabled and self._plan is None:
-            profile = self._profile
-            if profile is None:
-                self._plan = compile_plan(self)
-            else:
-                began = perf_counter()
-                self._plan = compile_plan(self)
-                profile.compile_seconds += perf_counter() - began
-                profile.plan_compiles += 1
-            self.plan_compiles += 1
+            plan = self._compile_plan_timed()
+            self._plan = plan
+            cache = self.plan_cache
+            if cache.capacity:
+                cache.put(("plan", self.config_fingerprint()), plan)
+
+    def _ensure_macro(self):
+        """The macro kernel for the current configuration + entry phase.
+
+        Returns None when fusion is unavailable (ineligible period).
+        Kernels are cached in :attr:`plan_cache` keyed by fingerprint
+        *and* entry phase, so re-entering a known phase of a known
+        configuration skips codegen entirely.
+        """
+        macro = self._macro
+        if macro is _MACRO_INELIGIBLE:
+            return None
+        if macro is not None and macro.matches_phase():
+            return macro
+        cache = self.plan_cache
+        key = None
+        if cache.capacity:
+            phase = tuple(
+                dn.local._counter for layer in self._dnodes
+                for dn in layer if dn.mode is DnodeMode.LOCAL
+            )
+            key = ("macro", phase, self.config_fingerprint())
+            macro = cache.get(key)
+            if macro is not None:
+                self._macro = macro
+                return macro
+        macro = compile_macro(self)
+        if macro is None:
+            self._macro = _MACRO_INELIGIBLE
+            return None
+        self._macro = macro
+        if key is not None:
+            cache.put(key, macro)
+        return macro
+
+    def _run_steady(self, plan, cycles: int, bus: int,
+                    host_in: Optional[HostReader]) -> None:
+        """Run *cycles* on the compiled engines: fused macro + remainder.
+
+        With macro-stepping enabled and a long enough span, the bulk of
+        the span executes in period-multiples through the fused kernel;
+        the sub-period remainder (and everything, when fusion is off or
+        ineligible) goes through the per-cycle plan.
+        """
+        k = self.macro_step
+        if k > 1 and cycles >= k:
+            macro = self._ensure_macro()
+            if macro is not None and cycles >= max(k, macro.period):
+                fused = cycles - cycles % macro.period
+                if fused:
+                    self._run_plan(macro, fused, bus, host_in)
+                    cycles -= fused
+        if cycles:
+            self._run_plan(plan, cycles, bus, host_in)
 
     def run(self, cycles: int, bus: int = 0,
             host_in: Optional[HostReader] = None) -> None:
@@ -694,7 +865,8 @@ class Ring:
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
         word.check(bus, "bus value")
-        if self.backend == "batch":
+        if self.backend == "batch" and (self.batch_size > 1
+                                        or self._batch_engine is not None):
             self._run_batch(cycles, bus, host_in)
             return
         remaining = cycles
@@ -704,18 +876,18 @@ class Ring:
                 trace = self._trace
                 if trace is None:
                     self.last_bus = bus
-                    self._run_plan(plan, remaining, bus, host_in)
+                    self._run_steady(plan, remaining, bus, host_in)
                     return
                 stride = self._trace_stride()
                 if stride is None:
                     # Every observer's window is exhausted: free-run.
                     self.last_bus = bus
-                    self._run_plan(plan, remaining, bus, host_in)
+                    self._run_steady(plan, remaining, bus, host_in)
                     return
                 if stride > 1:
                     chunk = min(stride, remaining)
                     self.last_bus = bus
-                    self._run_plan(plan, chunk, bus, host_in)
+                    self._run_steady(plan, chunk, bus, host_in)
                     remaining -= chunk
                     if chunk == stride:
                         trace(self)

@@ -156,6 +156,26 @@ class SwitchConfig:
         #: owning :class:`~repro.core.ring.Ring` points this at its
         #: fast-path invalidator so steady-state plans are recompiled.
         self.on_change: Optional[Callable[[], None]] = None
+        #: Cached routing fingerprint (see fingerprint()).
+        self._fp: Optional[tuple] = None
+
+    def fingerprint(self) -> tuple:
+        """A stable, hashable digest of the routing table.
+
+        Explicit ZERO routes and absent entries read the same, so both
+        are excluded — restoring a configuration by either path yields
+        the same fingerprint.  Cached until the next routing mutation.
+        """
+        fp = self._fp
+        if fp is None:
+            fp = tuple(sorted(
+                (pos, port, _ROUTE_KIND_CODES[src.kind], src.index,
+                 src.lane)
+                for (pos, port), src in self._routes.items()
+                if src.kind is not PortKind.ZERO
+            ))
+            self._fp = fp
+        return fp
 
     def route(self, position: int, port: int, source: PortSource) -> None:
         """Connect input *port* (1 or 2) of downstream Dnode *position*."""
@@ -176,6 +196,7 @@ class SwitchConfig:
             )
         self._routes[(position, port)] = source
         self.writes += 1
+        self._fp = None
         if self.on_change is not None:
             self.on_change()
 
@@ -189,6 +210,7 @@ class SwitchConfig:
         """Disconnect every port (all read zero)."""
         self._routes.clear()
         self.writes += 1
+        self._fp = None
         if self.on_change is not None:
             self.on_change()
 

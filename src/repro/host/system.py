@@ -91,6 +91,14 @@ class RingSystem:
         for _ in range(cycles):
             self.step()
 
+    def set_plan_cache(self, capacity: int) -> None:
+        """Resize the ring's compiled-plan cache (0 disables caching)."""
+        self.ring.set_plan_cache(capacity)
+
+    def set_macro_step(self, macro_step: int) -> None:
+        """Set the ring's macro-step fusion target (0/1 disables)."""
+        self.ring.set_macro_step(macro_step)
+
     def metrics(self):
         """Aggregate every live counter into a MetricsSnapshot.
 

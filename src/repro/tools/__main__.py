@@ -80,6 +80,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("error: --batch-size requires --backend batch",
               file=sys.stderr)
         return 1
+    if args.plan_cache is not None:
+        system.set_plan_cache(args.plan_cache)
+    if args.macro_step is not None:
+        system.set_macro_step(args.macro_step)
     total = 0
     for spec in args.stream or []:
         channel, values = _parse_stream(spec)
@@ -158,6 +162,13 @@ def main(argv=None) -> int:
                             "once, streams broadcast to every lane)")
     p_run.add_argument("--batch-size", type=int, default=1, metavar="N",
                        help="lane count for --backend batch")
+    p_run.add_argument("--plan-cache", type=int, default=None, metavar="N",
+                       help="retain up to N compiled plans keyed by "
+                            "configuration fingerprint (0 disables; "
+                            "default: the ring's own, normally 8)")
+    p_run.add_argument("--macro-step", type=int, default=None, metavar="K",
+                       help="fuse steady-state runs of >= K cycles into "
+                            "generated macro kernels (0/1 disables)")
     p_run.add_argument("--metrics", default=None, metavar="PATH",
                        help="export run metrics (counters, FIFO high-water "
                             "marks, controller stalls) to PATH")

@@ -23,10 +23,11 @@ from hypothesis import given, settings, strategies as st
 from repro import word
 from repro.core import alu
 from repro.core.batchpath import LANE_DTYPE, batch_execute_op
+from repro.core.dnode import DnodeMode
 from repro.core.isa import ACCUMULATING_OPS, Opcode
 from repro.core.ring import Ring, RingGeometry
 
-from tests.core.test_fuzz import build_ring, ring_specs
+from tests.core.test_fuzz import apply_spec, build_ring, ring_specs
 
 _SETTINGS = dict(deadline=None, derandomize=True)
 
@@ -163,6 +164,123 @@ class TestDifferentialBackends:
             assert (_extract_lane(chunked, lane)
                     == _extract_lane(one_shot, lane)), (
                 f"chunked run diverged on lane {lane}"
+            )
+
+
+def _apply_config_only(ring: Ring, spec: dict) -> None:
+    """Apply a spec's *configuration* (no FIFO loads): a context switch."""
+    for layer, pos, mw, local, routes, _loads in spec["cells"]:
+        ring.config.write_microword(layer, pos, mw)
+        if local is not None:
+            ring.config.write_local_program(layer, pos, local)
+            ring.config.write_mode(layer, pos, DnodeMode.LOCAL)
+        else:
+            ring.config.write_mode(layer, pos, DnodeMode.GLOBAL)
+        for port, route in routes.items():
+            ring.config.write_switch_route(layer, pos, port, route)
+
+
+class TestDifferentialCachedAndMacro:
+    """Cache-hit and macro-fused execution == interpreter, full state.
+
+    Extends the backend identity fuzz to the plan-cache layer: the same
+    random configuration churn (context A / context B / back to A) is
+    driven through an interpreter ring, a cache-enabled fast-path ring
+    (which re-adopts plans on the A/B/A returns), a cache-disabled ring
+    (fresh compile every switch), a macro-stepping ring, and the batch
+    backend with its kernel cache.  Any fingerprint collision, stale
+    plan adoption, phase-mismatched macro kernel, or missed invalidation
+    shows up as state divergence.
+    """
+
+    @given(spec=ring_specs(min_layers=2, max_layers=5, min_width=1,
+                           max_width=2, max_local=6),
+           k=st.sampled_from([2, 8, 64]),
+           chunks=st.lists(st.integers(min_value=1, max_value=40),
+                           min_size=1, max_size=4),
+           seed=st.integers(min_value=0, max_value=0xFFFF),
+           bus=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=50, **_SETTINGS)
+    def test_macro_stepped_full_state_identity(self, spec, k, chunks,
+                                               seed, bus):
+        interp = build_ring(spec, fastpath=False)
+        fused = build_ring(spec, macro_step=k)
+        for chunk in chunks:
+            interp.run(chunk, bus=bus,
+                       host_in=lambda ch: _host_value(seed, ch,
+                                                      interp.cycles, 0))
+            fused.run(chunk, bus=bus,
+                      host_in=lambda ch: _host_value(seed, ch,
+                                                     fused.cycles, 0))
+            assert _state(fused) == _state(interp)
+
+    # Context A and context B share one geometry (3x2) so either
+    # configuration is legal on the same fabric — the churn is a pure
+    # context switch, exactly the paper's multiplexing pattern.
+    @given(spec_a=ring_specs(min_layers=3, max_layers=3, min_width=2,
+                             max_width=2, max_local=4),
+           spec_b=ring_specs(min_layers=3, max_layers=3, min_width=2,
+                             max_width=2, max_local=4, fifo_loads=False),
+           cycles=st.integers(min_value=1, max_value=12),
+           rounds=st.integers(min_value=2, max_value=4),
+           seed=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=40, **_SETTINGS)
+    def test_reconfiguration_churn_cached_vs_fresh(self, spec_a, spec_b,
+                                                   cycles, rounds, seed):
+        """A/B/A context churn: cache-hit plans == fresh compiles ==
+        interpreter, at every switch boundary."""
+        interp = build_ring(spec_a, fastpath=False)
+        cached = build_ring(spec_a, plan_cache=8)
+        fresh = build_ring(spec_a, plan_cache=0)
+        fused = build_ring(spec_a, plan_cache=8, macro_step=2)
+        rings = (interp, cached, fresh, fused)
+        for round_no in range(rounds):
+            for spec in (spec_b, spec_a):
+                for ring in rings:
+                    _apply_config_only(ring, spec)
+                    ring.run(cycles,
+                             host_in=lambda ch, _r=ring:
+                             _host_value(seed, ch, _r.cycles, 0))
+                want = _state(interp)
+                assert _state(cached) == want, "cached plan diverged"
+                assert _state(fresh) == want, "fresh compile diverged"
+                assert _state(fused) == want, "macro kernel diverged"
+        if cycles >= 3:
+            # Long enough per context for the uncached ring's deferred
+            # compile to trigger at every switch: the cached ring pays
+            # at most one compile per *distinct* context instead.
+            assert cached.plan_compiles <= fresh.plan_compiles
+
+    @given(spec_a=ring_specs(min_layers=3, max_layers=3, min_width=2,
+                             max_width=2, max_local=4),
+           spec_b=ring_specs(min_layers=3, max_layers=3, min_width=2,
+                             max_width=2, max_local=4, fifo_loads=False),
+           batch=st.integers(min_value=2, max_value=3),
+           cycles=st.integers(min_value=1, max_value=10),
+           seed=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=25, **_SETTINGS)
+    def test_batch_kernel_cache_churn_per_lane(self, spec_a, spec_b,
+                                               batch, cycles, seed):
+        """The batch engine's kernel cache under the same A/B/A churn:
+        every lane must keep matching per-lane scalar reruns."""
+        bring = _batch_ring(spec_a, seed, batch)
+        host_in = _batch_host_in(bring, seed, batch)
+        plan = [spec_b, spec_a, spec_b, spec_a]
+        for spec in plan:
+            _apply_config_only(bring, spec)
+            bring.run(cycles, host_in=host_in)
+        assert bring._batch_engine.plan_cache.hits > 0, (
+            "churn back to a seen context must hit the kernel cache"
+        )
+        for lane in range(batch):
+            scalar = _scalar_lane_ring(spec_a, seed, lane, fastpath=True)
+            for spec in plan:
+                _apply_config_only(scalar, spec)
+                scalar.run(cycles,
+                           host_in=lambda ch: _host_value(
+                               seed, ch, scalar.cycles, lane))
+            assert _extract_lane(bring, lane) == _state(scalar), (
+                f"batch lane {lane} diverged under churn"
             )
 
 

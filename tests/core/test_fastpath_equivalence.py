@@ -233,6 +233,9 @@ def test_midrun_reconfiguration_all_backends(seed, batch_size):
     reference = Ring(geometry, fastpath=False)
     fast = Ring(geometry, fastpath=True)
     batch = Ring(geometry, backend="batch", batch_size=batch_size)
+    # B=1 rides the scalar fast path unless the vector engine has been
+    # handed out; this test exercises the engine, so engage it.
+    batch.batch
     rings = (reference, fast, batch)
     hosts = [_HostLog() for _ in rings]
     for ring in rings:
