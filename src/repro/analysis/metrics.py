@@ -180,6 +180,18 @@ class MetricsRegistry:
             ("ring_utilization", "gauge",
              "Fraction of Dnode-cycles that executed a real instruction.",
              ring.utilization()),
+            ("faults_injected_total", "counter",
+             "Faults injected into the fabric by the robustness layer.",
+             getattr(ring, "faults_injected", 0)),
+            ("checkpoints_total", "counter",
+             "Full-state checkpoints captured.",
+             getattr(ring, "checkpoints", 0)),
+            ("rollbacks_total", "counter",
+             "Checkpoint restores triggered by detection or rollback.",
+             getattr(ring, "rollbacks", 0)),
+            ("recovery_cycles_total", "counter",
+             "Cycles re-executed during rollback-replay recovery.",
+             getattr(ring, "recovery_cycles", 0)),
         ]
         return [Metric(name, kind, help_, (((), float(value)),))
                 for name, kind, help_, value in scalar]

@@ -260,6 +260,28 @@ def _label_or_int(token: str, labels: Dict[str, int], line: int) -> int:
     return _int(token, line)
 
 
+def _cfg_word(token: str, rom: _RomBuilder, line: int) -> int:
+    """Resolve a configuration-word operand to its ROM index.
+
+    Either a name bound by ``cfgword``, or an inline bracketed
+    microinstruction (``[mul out, in1, #2]``) — the form the
+    disassembler emits — which is encoded and deduplicated into the ROM
+    directly.
+    """
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        return rom.add(encode_microword(parse_dnode_op(token[1:-1], line)))
+    return rom.lookup(token, line)
+
+
+def _cfg_route(token: str, rom: _RomBuilder, line: int) -> int:
+    """Resolve a route operand: a ``cfgroute`` name or inline ``[up0]``."""
+    token = token.strip()
+    if token.startswith("[") and token.endswith("]"):
+        return rom.add(encode_route(parse_route(token[1:-1], line)))
+    return rom.lookup(token, line)
+
+
 def _encode_statement(stmt: RiscStmt, addr: int, labels: Dict[str, int],
                       rom: _RomBuilder, layers: int, width: int,
                       plane_names: Dict[str, int]) -> Instruction:
@@ -311,7 +333,7 @@ def _encode_statement(stmt: RiscStmt, addr: int, labels: Dict[str, int],
             _require(stmt, 2)
             return Instruction(ROp.CFGDI,
                                dnode=_dnode(ops[0], line, layers, width),
-                               cfg=rom.lookup(ops[1], line))
+                               cfg=_cfg_word(ops[1], rom, line))
         if m == "cfgd":
             _require(stmt, 2)
             return Instruction(ROp.CFGD, rs=_reg(ops[0], line),
@@ -321,7 +343,7 @@ def _encode_statement(stmt: RiscStmt, addr: int, labels: Dict[str, int],
             return Instruction(ROp.CFGL,
                                dnode=_dnode(ops[0], line, layers, width),
                                slot=_int(ops[1], line),
-                               cfg=rom.lookup(ops[2], line))
+                               cfg=_cfg_word(ops[2], rom, line))
         if m == "cfglim":
             _require(stmt, 2)
             return Instruction(ROp.CFGLIM,
@@ -352,12 +374,12 @@ def _encode_statement(stmt: RiscStmt, addr: int, labels: Dict[str, int],
                     line,
                 )
             return Instruction(ROp.CFGS, sw=sw, pos=pos, port=port,
-                               cfg=rom.lookup(ops[1], line))
+                               cfg=_cfg_route(ops[1], rom, line))
         if m == "cfgimm":
             _require(stmt, 3)
             return Instruction(ROp.CFGIMM,
                                dnode=_dnode(ops[0], line, layers, width),
-                               cfg=rom.lookup(ops[1], line),
+                               cfg=_cfg_word(ops[1], rom, line),
                                rs=_reg(ops[2], line))
         if m == "rdd":
             _require(stmt, 2)

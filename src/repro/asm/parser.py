@@ -97,14 +97,20 @@ def _strip_comment(line: str) -> str:
 
 
 def _split_operands(rest: str) -> List[str]:
-    """Split an operand string on top-level commas (not inside parens)."""
+    """Split an operand string on top-level commas.
+
+    Commas inside parentheses or square brackets do not split: brackets
+    delimit inline configuration-word operands (``cfgdi d0.0, [mul out,
+    in1, #2]``), the syntax the disassembler emits, so a disassembled
+    ``.risc`` listing reassembles without a name table.
+    """
     operands = []
     depth = 0
     current = []
     for ch in rest:
-        if ch == "(":
+        if ch in "([":
             depth += 1
-        elif ch == ")":
+        elif ch in ")]":
             depth -= 1
         if ch == "," and depth == 0:
             operands.append("".join(current).strip())

@@ -380,6 +380,72 @@ class BatchRing:
         """Resize (or with 0, disable) the engine's kernel cache."""
         self.plan_cache = PlanCache(capacity)
 
+    # -- lane checkpointing -------------------------------------------
+
+    def capture_lanes(self) -> dict:
+        """Freeze the full per-lane state as plain Python data.
+
+        The returned dict is self-contained (no live array views), so a
+        :mod:`repro.core.snapshot` checkpoint of a batch ring carries
+        every lane, not just the lane-0 scalar mirror.
+        """
+        return {
+            "batch": self.batch,
+            "outs": self.outs.tolist(),
+            "regs": self.regs.tolist(),
+            "pipes": self.pipes.tolist(),
+            "head": self._head,
+            "counters": {key: cell[0]
+                         for key, cell in self._counters.items()},
+            # All-empty queues are omitted: they exist only because a
+            # queue object was materialized at some point, which is not
+            # architectural state and must not affect digests.
+            "fifos": {
+                key: [fifo.contents(lane) for lane in range(self.batch)]
+                for key, fifo in self._fifos.items()
+                if int(fifo.count.max()) > 0
+            },
+            "lane_underflows": self.lane_underflows.tolist(),
+            "lane_fifo_pops": {key: counts.tolist()
+                               for key, counts in
+                               self.lane_fifo_pops.items()},
+        }
+
+    def restore_lanes(self, state: dict) -> None:
+        """Load a :meth:`capture_lanes` snapshot back into the lanes.
+
+        Replaces every FIFO object (compiled kernels close over them),
+        so the kernel table and the engine cache are dropped exactly as
+        in :meth:`resync`.
+        """
+        if state["batch"] != self.batch:
+            raise SimulationError(
+                f"lane snapshot holds {state['batch']} lanes; engine has "
+                f"{self.batch}"
+            )
+        self.outs[:] = np.asarray(state["outs"], dtype=LANE_DTYPE)
+        self.regs[:] = np.asarray(state["regs"], dtype=LANE_DTYPE)
+        self.pipes[:] = np.asarray(state["pipes"], dtype=LANE_DTYPE)
+        self._head = state["head"]
+        for key, value in state["counters"].items():
+            self._counters[key][0] = value
+        self._fifos = {}
+        for key, lanes in state["fifos"].items():
+            fifo = _BatchFifo(self.batch)
+            for lane, values in enumerate(lanes):
+                fifo.push_lane(lane, values)
+            self._fifos[key] = fifo
+        self.lane_underflows[:] = np.asarray(state["lane_underflows"],
+                                             dtype=np.int64)
+        for key, counts in state["lane_fifo_pops"].items():
+            self.lane_fifo_pops[key][:] = np.asarray(counts,
+                                                     dtype=np.int64)
+        self._kernels = None
+        self.plan_cache.clear()
+        # Re-align the scalar mirror (including the pipeline rotation
+        # head) with the restored lane 0 — the writeback contract.
+        self.store_lane(0)
+
     # -- lane state access --------------------------------------------
 
     def lane_outs(self, layer: int, position: int) -> np.ndarray:

@@ -302,6 +302,16 @@ class Ring:
         #: Fast-path lifecycle counters (always-on, config-path cost only).
         self.plan_compiles = 0
         self.plan_invalidations = 0
+        #: Robustness-layer counters (:mod:`repro.robustness`): faults
+        #: applied to this fabric, checkpoints taken, rollbacks performed
+        #: and cycles re-executed recovering.  Host-side lifetime
+        #: accounting like the plan counters — preserved across
+        #: :meth:`reset` and snapshot restore (a rollback must still
+        #: count as a rollback afterwards).
+        self.faults_injected = 0
+        self.checkpoints = 0
+        self.rollbacks = 0
+        self.recovery_cycles = 0
         self._observers: List[_CycleObserver] = []
         self._legacy_trace: Optional[RingObserver] = None
         self._profile: Optional[RingProfile] = None
@@ -928,6 +938,25 @@ class Ring:
         queues are cleared *in place*: any queue handle previously handed
         out by :meth:`fifo` (host/DMA producers hold these) stays live and
         keeps feeding the same Dnode after the reset.
+
+        Counter semantics (asserted by ``tests/core/test_reset_semantics``
+        — the regression net for future backend work):
+
+        * **Cleared** — everything that describes the *run*: ``cycles``,
+          per-Dnode :class:`~repro.core.dnode.DnodeStats`, local-sequencer
+          counters, ``fifo_underflows``, ``fifo_high_water``,
+          ``last_bus``, and the batch engine's per-lane state (the engine
+          is detached and lazily rebuilt from the cleared scalar state).
+        * **Preserved** — everything that describes the *machine and its
+          host*: the configuration and its write counters
+          (``config.writes``, per-switch ``config.writes``),
+          ``plan_compiles`` / ``plan_invalidations`` / ``macro_cycles``,
+          the plan cache (contents *and* hit/miss/eviction statistics),
+          the robustness counters (``faults_injected``, ``checkpoints``,
+          ``rollbacks``, ``recovery_cycles``) — and the active compiled
+          plan: it closes over the stable state containers just cleared
+          in place and the configuration is untouched, so the next step
+          resumes on the fast path without recompiling.
         """
         for dn in self.all_dnodes():
             dn.reset()

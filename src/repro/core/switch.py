@@ -279,6 +279,27 @@ class Switch:
         return self._pipes[lane - 1][
             (self._head + stage - 1) % self.pipeline_depth]
 
+    def rp_write(self, stage: int, lane: int, value: int) -> None:
+        """Overwrite feedback tap ``Rp(stage, lane)`` (both 1-based).
+
+        The state-injection dual of :meth:`rp_read`: used by checkpoint
+        restore and by fault injectors to place a word at an exact
+        pipeline depth without disturbing the rotation head.
+        """
+        if not 1 <= stage <= self.pipeline_depth:
+            raise SimulationError(
+                f"switch {self.index}: feedback stage {stage} out of range "
+                f"1..{self.pipeline_depth}"
+            )
+        if not 1 <= lane <= self.width:
+            raise SimulationError(
+                f"switch {self.index}: feedback lane {lane} out of range "
+                f"1..{self.width}"
+            )
+        word.check(value, f"switch {self.index} lane {lane - 1}")
+        self._pipes[lane - 1][
+            (self._head + stage - 1) % self.pipeline_depth] = value
+
     def shift(self, upstream_outputs: List[int]) -> None:
         """Clock edge: push the upstream layer's outputs into the pipelines.
 

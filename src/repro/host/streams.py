@@ -71,6 +71,19 @@ class StreamChannel:
             self._queue.popleft()
             self.delivered += 1
 
+    def drop_next(self) -> int:
+        """Fault model: silently lose the next queued word.
+
+        Unlike :meth:`advance`, the lost word is neither delivered nor
+        counted — exactly what a flipped valid-bit on the host link
+        looks like.  Returns how many words were dropped (0 when the
+        queue was already dry).
+        """
+        if not self._queue:
+            return 0
+        self._queue.popleft()
+        return 1
+
     def pending(self) -> int:
         """Words still queued."""
         return len(self._queue)
@@ -139,6 +152,19 @@ class BatchStreamChannel:
             if queue:
                 queue.popleft()
                 self.delivered[lane] += 1
+
+    def drop_next(self) -> int:
+        """Fault model: silently lose the next word on every lane.
+
+        Returns the number of words dropped (lanes already dry lose
+        nothing); none are counted as delivered.
+        """
+        dropped = 0
+        for queue in self._queues:
+            if queue:
+                queue.popleft()
+                dropped += 1
+        return dropped
 
     def pending(self) -> int:
         """Words still queued across all lanes."""
@@ -362,6 +388,61 @@ class DataController:
             return
         for tap in self.taps:
             tap.observe(ring.dnode(tap.layer, tap.position).out)
+
+    def capture_state(self) -> dict:
+        """Checkpoint the host side: queued words, counters, tap samples.
+
+        The fabric snapshot (:mod:`repro.core.snapshot`) covers only the
+        ring; rollback-replay of a *streamed* run must also rewind the
+        stream queues and tap collections, or replay would re-consume
+        words that are already gone.  Pure-Python state, deep-copied.
+        """
+        channels = {}
+        for index, ch in self._channels.items():
+            if isinstance(ch, BatchStreamChannel):
+                channels[index] = {
+                    "lanes": [list(queue) for queue in ch._queues],
+                    "delivered": list(ch.delivered),
+                    "underruns": list(ch.underruns),
+                }
+            else:
+                channels[index] = {
+                    "queue": list(ch._queue),
+                    "delivered": ch.delivered,
+                    "underruns": ch.underruns,
+                }
+        taps = []
+        for tap in self.taps:
+            if isinstance(tap, BatchOutputTap):
+                taps.append({"samples": [list(s) for s in tap.samples],
+                             "seen": tap._seen})
+            else:
+                taps.append({"samples": list(tap.samples),
+                             "seen": tap._seen})
+        return {"channels": channels, "taps": taps}
+
+    def restore_state(self, state: dict) -> None:
+        """Rewind to a :meth:`capture_state` checkpoint (same topology)."""
+        for index, saved in state["channels"].items():
+            ch = self.channel(index)
+            if isinstance(ch, BatchStreamChannel):
+                ch._queues = [deque(lane) for lane in saved["lanes"]]
+                ch.delivered = list(saved["delivered"])
+                ch.underruns = list(saved["underruns"])
+            else:
+                ch._queue = deque(saved["queue"])
+                ch.delivered = saved["delivered"]
+                ch.underruns = saved["underruns"]
+        if len(state["taps"]) != len(self.taps):
+            raise HostError(
+                f"checkpoint has {len(state['taps'])} taps, controller "
+                f"has {len(self.taps)}")
+        for tap, saved in zip(self.taps, state["taps"]):
+            if isinstance(tap, BatchOutputTap):
+                tap.samples = [list(s) for s in saved["samples"]]
+            else:
+                tap.samples = list(saved["samples"])
+            tap._seen = saved["seen"]
 
     def total_words_in(self) -> int:
         """Words actually streamed into the fabric so far (all lanes)."""

@@ -1,0 +1,245 @@
+"""Seeded fault campaigns: inject → detect → rollback-replay → verify.
+
+A :class:`FaultCampaign` sweeps fault sites x injection cycles x seeds
+against a *golden run* of the identical configuration and stimulus:
+
+1. The golden ring runs the full window once, recording its state digest
+   at every checkpoint boundary and at the end.
+2. Each trial gets a fresh ring from the same factory, a
+   :class:`~repro.robustness.faults.FaultInjector` seeded from the
+   campaign seed, and a :class:`~repro.robustness.checkpoint.CheckpointManager`.
+   One fault is injected at the planned cycle; at every checkpoint
+   boundary the trial digest is compared with the golden digest —
+   mismatch means the fault was *detected*, triggering rollback to the
+   last good checkpoint and deterministic replay.
+3. A trial is *recovered* when its post-replay digest matches the golden
+   digest at the detection boundary and its final digest matches the
+   golden final digest — bit-identity, not approximate agreement.
+
+The whole campaign is deterministic: the same seed over the same
+factory/driver enumerates the same sites, plans the same events, and
+produces the same :meth:`CampaignResult.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ring import Ring
+from repro.core.snapshot import state_digest
+from repro.robustness.checkpoint import (
+    CheckpointManager,
+    Driver,
+    default_driver,
+)
+from repro.robustness.faults import FaultEvent, FaultInjector, FaultKind
+from repro.errors import ConfigurationError
+
+#: Builds one freshly configured ring; every call must configure
+#: identically (campaigns compare trial state against a golden instance).
+RingFactory = Callable[[], Ring]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one injected fault."""
+
+    trial: int
+    seed: int
+    event: FaultEvent
+    applied: bool          # the fault landed in live state
+    detected: bool         # a checkpoint digest diverged from golden
+    recovered: bool        # replay restored bit-identity through the end
+    detection_cycle: int   # boundary where divergence was seen (-1: never)
+    rollback_cycle: int    # checkpoint the recovery restored (-1: none)
+    replayed_cycles: int
+
+    @property
+    def masked(self) -> bool:
+        """The fault never became architecturally visible."""
+        return not self.detected
+
+    def describe(self) -> str:
+        if self.detected:
+            outcome = ("recovered" if self.recovered
+                       else "RECOVERY FAILED")
+            return (f"trial {self.trial}: {self.event.describe()} -> "
+                    f"detected @cycle {self.detection_cycle}, rolled back "
+                    f"to {self.rollback_cycle}, replayed "
+                    f"{self.replayed_cycles}, {outcome}")
+        status = "masked" if self.applied else "not applied"
+        return f"trial {self.trial}: {self.event.describe()} -> {status}"
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a :class:`FaultCampaign` run."""
+
+    seed: int
+    cycles: int
+    checkpoint_every: int
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        return len(self.trials)
+
+    @property
+    def detected(self) -> int:
+        return sum(t.detected for t in self.trials)
+
+    @property
+    def recovered(self) -> int:
+        return sum(t.recovered for t in self.trials)
+
+    @property
+    def masked(self) -> int:
+        return sum(t.masked for t in self.trials)
+
+    @property
+    def all_recovered(self) -> bool:
+        """Every detected fault recovered to bit-identity."""
+        return all(t.recovered for t in self.trials if t.detected)
+
+    def trace(self) -> Tuple[tuple, ...]:
+        """Canonical recovery trace — equal for equal seeds.
+
+        One tuple per trial: ``(trial, site, cycle, bit, applied,
+        detected, detection_cycle, rollback_cycle, recovered)``.
+        """
+        return tuple(
+            (t.trial, t.event.site.describe(), t.event.cycle, t.event.bit,
+             t.applied, t.detected, t.detection_cycle, t.rollback_cycle,
+             t.recovered)
+            for t in self.trials)
+
+    def summary(self) -> dict:
+        """JSON-friendly rollup (used by the CLI and benchmarks)."""
+        return {
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "checkpoint_every": self.checkpoint_every,
+            "injected": self.injected,
+            "detected": self.detected,
+            "recovered": self.recovered,
+            "masked": self.masked,
+            "all_recovered": self.all_recovered,
+        }
+
+
+class FaultCampaign:
+    """Sweep seeded faults against a golden run of one configuration.
+
+    Args:
+        factory: builds identically configured rings (golden + trials).
+        cycles: simulation window per run.
+        checkpoint_every: checkpoint/detection interval in cycles.
+        seed: campaign seed; trial *i* uses ``seed + i``.
+        trials: number of faults to inject (one per trial ring).
+        kinds: restrict injected :class:`FaultKind`\\ s.
+        driver: deterministic stimulus shared by golden and trial runs.
+    """
+
+    def __init__(self, factory: RingFactory, cycles: int,
+                 checkpoint_every: int, seed: int, trials: int = 8,
+                 kinds: Optional[Sequence[FaultKind]] = None,
+                 driver: Optional[Driver] = None):
+        if cycles < 1:
+            raise ConfigurationError(
+                f"campaign window must be >= 1 cycle, got {cycles}")
+        if trials < 1:
+            raise ConfigurationError(
+                f"campaign needs >= 1 trial, got {trials}")
+        self.factory = factory
+        self.cycles = cycles
+        self.checkpoint_every = checkpoint_every
+        self.seed = seed
+        self.trials = trials
+        self.kinds = tuple(kinds) if kinds is not None else None
+        self.driver = driver if driver is not None else default_driver
+
+    # -- golden run ----------------------------------------------------
+
+    def golden_digests(self) -> Dict[int, tuple]:
+        """Digests of the uninjected run, keyed by boundary cycle.
+
+        Includes cycle 0, every multiple of ``checkpoint_every``, and
+        the final cycle.
+        """
+        ring = self.factory()
+        digests = {0: state_digest(ring)}
+        for cycle in range(self.cycles):
+            self.driver(ring, cycle)
+            if ring.cycles % self.checkpoint_every == 0 \
+                    or ring.cycles == self.cycles:
+                digests[ring.cycles] = state_digest(ring)
+        return digests
+
+    # -- trials --------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute every trial; returns the aggregate result."""
+        golden = self.golden_digests()
+        result = CampaignResult(seed=self.seed, cycles=self.cycles,
+                                checkpoint_every=self.checkpoint_every)
+        for index in range(self.trials):
+            result.trials.append(self._run_trial(index, golden))
+        return result
+
+    def _run_trial(self, index: int,
+                   golden: Dict[int, tuple]) -> TrialResult:
+        trial_seed = self.seed + index
+        ring = self.factory()
+        injector = FaultInjector(ring, seed=trial_seed, kinds=self.kinds)
+        # Inject strictly inside the window so there is always at least
+        # one pre-fault checkpoint (cycle 0) and one post-fault boundary.
+        last = max(self.cycles - 1, 0)
+        [event] = injector.plan(1, 0, last)
+        manager = CheckpointManager(ring, self.checkpoint_every,
+                                    driver=self.driver, keep=2)
+        applied = False
+        detected = False
+        recovered = False
+        detection_cycle = -1
+        rollback_cycle = -1
+        replayed = 0
+        for cycle in range(self.cycles):
+            if cycle == event.cycle:
+                applied = injector.inject(event).applied
+            self.driver(ring, cycle)
+            boundary = (ring.cycles % self.checkpoint_every == 0
+                        or ring.cycles == self.cycles)
+            if not boundary:
+                continue
+            expected = golden.get(ring.cycles)
+            if expected is None:
+                continue
+            if state_digest(ring) == expected:
+                if ring.cycles % self.checkpoint_every == 0:
+                    manager.checkpoint()
+                continue
+            if not detected:
+                # First divergence: roll back to the last good
+                # checkpoint and replay deterministically.
+                detected = True
+                detection_cycle = ring.cycles
+                checkpoint = manager.latest
+                rollback_cycle = checkpoint.cycles
+                digest = manager.rollback_replay(ring.cycles)
+                replayed = ring.cycles - rollback_cycle
+                if digest == expected:
+                    if ring.cycles % self.checkpoint_every == 0:
+                        manager.checkpoint()
+                else:
+                    break  # replay failed to converge; recovery failed
+        final = golden.get(self.cycles)
+        recovered = detected and state_digest(ring) == final
+        return TrialResult(
+            trial=index, seed=trial_seed, event=event, applied=applied,
+            detected=detected, recovered=recovered,
+            detection_cycle=detection_cycle, rollback_cycle=rollback_cycle,
+            replayed_cycles=replayed)
+
+
+__all__ = ["CampaignResult", "FaultCampaign", "RingFactory", "TrialResult"]

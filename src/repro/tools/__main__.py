@@ -60,44 +60,160 @@ def _parse_tap(spec: str):
     return int(layer_text), int(pos_text), int(count) if count else None
 
 
+#: ``--inject`` spec -> the fault kinds it draws from (resolved lazily so
+#: plain asm/dis invocations never import the robustness layer).
+_INJECT_SPECS = ("seu", "config", "stuck", "drop", "all")
+
+
+def _inject_kinds(spec: str):
+    from repro.robustness.faults import FaultKind
+
+    return {
+        "seu": (FaultKind.REGISTER, FaultKind.OUT, FaultKind.PIPELINE,
+                FaultKind.FIFO),
+        "config": (FaultKind.CONFIG_WORD, FaultKind.CONFIG_ROUTE),
+        "stuck": (FaultKind.STUCK_DNODE,),
+        "drop": (FaultKind.STREAM_DROP,),
+        "all": tuple(FaultKind),
+    }[spec]
+
+
+def _run_with_injection(build, args, cycles: int) -> int:
+    """Golden run, then a faulted run with checkpoint/rollback recovery.
+
+    The golden system records state digests at every checkpoint boundary;
+    the faulted system compares against them, and on divergence restores
+    the last good checkpoint (fabric snapshot + host stream/tap state)
+    and replays.  Returns the faulted system (for tap/metric reporting)
+    plus an exit status.
+    """
+    from repro.core.snapshot import capture, restore, state_digest
+    from repro.robustness.faults import FaultInjector
+
+    every = args.checkpoint_every
+    golden = build()
+    digests = {0: state_digest(golden.ring)}
+    for _ in range(cycles):
+        golden.step()
+        if golden.cycles % every == 0 or golden.cycles == cycles:
+            digests[golden.cycles] = state_digest(golden.ring)
+
+    system = build()
+    injector = FaultInjector(system.ring, seed=args.fault_seed,
+                             kinds=_inject_kinds(args.inject),
+                             data=system.data)
+    fault_cycle = (args.fault_cycle if args.fault_cycle is not None
+                   else cycles // 2)
+    event = injector.random_event(fault_cycle)
+    checkpoint = (0, capture(system.ring), system.data.capture_state())
+    system.ring.checkpoints += 1
+    record = None
+    detected_at = None
+    rolled_back_to = None
+    recovered = True
+    for cycle in range(cycles):
+        if cycle == event.cycle:
+            record = injector.inject(event)
+        system.step()
+        if not (system.cycles % every == 0 or system.cycles == cycles):
+            continue
+        if state_digest(system.ring) == digests[system.cycles]:
+            if system.cycles % every == 0:
+                checkpoint = (system.cycles, capture(system.ring),
+                              system.data.capture_state())
+                system.ring.checkpoints += 1
+            continue
+        if detected_at is not None:
+            continue
+        detected_at = system.cycles
+        rolled_back_to, snapshot, host_state = checkpoint
+        restore(system.ring, snapshot)
+        system.data.restore_state(host_state)
+        system.ring.rollbacks += 1
+        system.cycles = rolled_back_to
+        for _ in range(detected_at - rolled_back_to):
+            system.step()
+        system.ring.recovery_cycles += detected_at - rolled_back_to
+        recovered = state_digest(system.ring) == digests[detected_at]
+        if not recovered:
+            break
+    recovered = recovered and state_digest(system.ring) == digests[cycles]
+    print(f"injected: {record.describe() if record else event.describe()}")
+    if detected_at is None:
+        print(f"fault masked: every checkpoint matched the golden run "
+              f"(interval {every})")
+    else:
+        verdict = ("recovered, bit-identical with golden run"
+                   if recovered else "RECOVERY FAILED")
+        print(f"detected at cycle {detected_at}; rolled back to cycle "
+              f"{rolled_back_to}; replayed "
+              f"{detected_at - rolled_back_to} cycles; {verdict}")
+    return system, (0 if recovered else 1)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     obj = ObjectCode.from_bytes(Path(args.object).read_bytes())
-    system = load_system(obj)
-    if args.backend is not None:
-        if args.backend == "batch" and system.controller is not None:
-            print("error: --backend batch needs an uncontrolled program "
-                  "(the configuration controller drives one scalar "
-                  "fabric)", file=sys.stderr)
-            return 1
-        system.ring.set_backend(
-            args.backend,
-            args.batch_size if args.backend == "batch" else 1)
-        # Rebuild the data controller so channels/taps match the lane
-        # count (streams below are broadcast to every lane).
-        from repro.host.streams import DataController
-        system.data = DataController(batch=system.ring.batch_size)
-    elif args.batch_size != 1:
+    if args.backend == "batch" and load_system(obj).controller is not None:
+        print("error: --backend batch needs an uncontrolled program "
+              "(the configuration controller drives one scalar "
+              "fabric)", file=sys.stderr)
+        return 1
+    if args.backend is None and args.batch_size != 1:
         print("error: --batch-size requires --backend batch",
               file=sys.stderr)
         return 1
-    if args.plan_cache is not None:
-        system.set_plan_cache(args.plan_cache)
-    if args.macro_step is not None:
-        system.set_macro_step(args.macro_step)
-    total = 0
-    for spec in args.stream or []:
-        channel, values = _parse_stream(spec)
-        system.data.stream(channel, values)
-        total = max(total, len(values))
-    taps = []
-    for spec in args.tap or []:
-        layer, pos, count = _parse_tap(spec)
-        taps.append((spec, system.data.add_tap(layer, pos, limit=count)))
+
+    total = max((len(_parse_stream(spec)[1])
+                 for spec in args.stream or []), default=0)
+    tap_specs = list(args.tap or [])
+
+    def build():
+        """One fully wired system; injection runs build golden + faulted
+        twins, so every run-affecting option must be applied here."""
+        system = load_system(obj)
+        if args.backend is not None:
+            system.ring.set_backend(
+                args.backend,
+                args.batch_size if args.backend == "batch" else 1)
+            # Rebuild the data controller so channels/taps match the
+            # lane count (streams are broadcast to every lane).
+            from repro.host.streams import DataController
+            system.data = DataController(batch=system.ring.batch_size)
+        if args.plan_cache is not None:
+            system.set_plan_cache(args.plan_cache)
+        if args.macro_step is not None:
+            system.set_macro_step(args.macro_step)
+        for spec in args.stream or []:
+            channel, values = _parse_stream(spec)
+            system.data.stream(channel, values)
+        for spec in tap_specs:
+            layer, pos, count = _parse_tap(spec)
+            system.data.add_tap(layer, pos, limit=count)
+        return system
+
     cycles = args.cycles if args.cycles is not None else total + 16
-    if system.controller is not None and args.cycles is None:
-        system.run_until_halt(max_cycles=args.max_cycles)
+    status = 0
+    if args.inject is not None:
+        if args.checkpoint_every is None:
+            args.checkpoint_every = max(1, cycles // 8)
+        if args.checkpoint_every < 1:
+            print("error: --checkpoint-every must be >= 1",
+                  file=sys.stderr)
+            return 1
+        system = build()
+        if system.controller is not None:
+            print("error: --inject supports uncontrolled programs only "
+                  "(controller state is not checkpointed)",
+                  file=sys.stderr)
+            return 1
+        system, status = _run_with_injection(build, args, cycles)
     else:
-        system.run(cycles)
+        system = build()
+        if system.controller is not None and args.cycles is None:
+            system.run_until_halt(max_cycles=args.max_cycles)
+        else:
+            system.run(cycles)
+    taps = list(zip(tap_specs, system.data.taps))
     batch = system.ring.batch_size if system.ring.backend == "batch" else 1
     if batch > 1:
         print(f"ran {system.cycles} cycles x {batch} lanes "
@@ -118,7 +234,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 else snapshot.to_json() + "\n")
         Path(args.metrics).write_text(text)
         print(f"wrote metrics to {args.metrics} ({args.metrics_format})")
-    return 0
+    return status
 
 
 def main(argv=None) -> int:
@@ -169,6 +285,19 @@ def main(argv=None) -> int:
     p_run.add_argument("--macro-step", type=int, default=None, metavar="K",
                        help="fuse steady-state runs of >= K cycles into "
                             "generated macro kernels (0/1 disables)")
+    p_run.add_argument("--inject", choices=_INJECT_SPECS, default=None,
+                       help="inject one seeded fault and recover by "
+                            "checkpoint rollback-replay, verified "
+                            "bit-identical against an uninjected golden "
+                            "run (uncontrolled programs only)")
+    p_run.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="checkpoint/detection interval in cycles "
+                            "for --inject (default: cycles // 8)")
+    p_run.add_argument("--fault-cycle", type=int, default=None, metavar="C",
+                       help="inject at cycle C (default: mid-run)")
+    p_run.add_argument("--fault-seed", type=int, default=2002, metavar="S",
+                       help="seed selecting the fault site and bit")
     p_run.add_argument("--metrics", default=None, metavar="PATH",
                        help="export run metrics (counters, FIFO high-water "
                             "marks, controller stalls) to PATH")

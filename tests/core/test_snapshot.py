@@ -94,3 +94,110 @@ class TestCaptureRestore:
         target.run(7, host_in=lambda ch: 2)
         restore(target, snapshot)
         assert fabric_state(target) == fabric_state(source)
+
+
+# -- property-based round-trips across every engine -------------------
+
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.snapshot import state_digest  # noqa: E402
+
+from tests.core.test_fuzz import build_ring, ring_specs  # noqa: E402
+
+_ENGINE_KWARGS = [
+    dict(backend="interpreter"),
+    dict(backend="fastpath"),
+    dict(backend="fastpath", macro_step=3),
+    dict(backend="batch", batch_size=4),
+]
+_ENGINE_IDS = ["interpreter", "fastpath", "macro", "batch"]
+
+
+class TestRoundTripProperty:
+    """capture -> step K -> restore -> step K is bit-identical, on every
+    execution engine, for arbitrary fabrics and warmup/replay windows."""
+
+    @pytest.mark.parametrize("kwargs", _ENGINE_KWARGS, ids=_ENGINE_IDS)
+    @given(spec=ring_specs(), warmup=st.integers(0, 12),
+           k=st.integers(1, 16), bus=st.integers(0, 0xFFFF))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_capture_step_restore_step(self, kwargs, spec, warmup, k, bus):
+        ring = build_ring(spec, **kwargs)
+        ring.run(warmup, bus=bus, host_in=lambda ch: bus & 0xFF)
+        snapshot = capture(ring)
+        ring.run(k, bus=bus, host_in=lambda ch: bus & 0xFF)
+        first = state_digest(ring)
+        restore(ring, snapshot)
+        assert state_digest(ring) == snapshot_digest_of(snapshot, ring)
+        ring.run(k, bus=bus, host_in=lambda ch: bus & 0xFF)
+        assert state_digest(ring) == first
+
+    @given(spec=ring_specs(), warmup=st.integers(1, 12),
+           k=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None, derandomize=True)
+    def test_batch_round_trip_covers_every_lane(self, spec, warmup, k):
+        """Per-lane state survives the round trip: the digest's lane
+        block (not just the scalar mirror) must replay identically."""
+        ring = build_ring(spec, backend="batch", batch_size=4)
+        ring.run(warmup, host_in=lambda ch: (ch + 1) * 3)
+        snapshot = capture(ring)
+        assert snapshot.lanes is not None
+        ring.run(k, host_in=lambda ch: (ch + 1) * 3)
+        first = state_digest(ring)
+        lanes_block = first[-1]
+        assert lanes_block, "batch digest lost its per-lane block"
+        restore(ring, snapshot)
+        ring.run(k, host_in=lambda ch: (ch + 1) * 3)
+        again = state_digest(ring)
+        assert again == first
+        assert again[-1] == lanes_block
+
+
+def snapshot_digest_of(snapshot, ring):
+    """The digest the restored ring must present for *snapshot*."""
+    from repro.core.snapshot import snapshot_digest
+    return snapshot_digest(snapshot)
+
+
+class TestObservabilityRoundTrip:
+    """Statistics and diagnostics counters are part of the snapshot."""
+
+    def test_stats_and_diagnostics_restore(self):
+        source = busy_ring()
+        source.run(40, host_in=lambda ch: 1)  # drain FIFOs -> underflows
+        assert source.fifo_underflows > 0
+        snapshot = capture(source)
+        target = make_ring(8)
+        restore(target, snapshot)
+        assert target.fifo_underflows == source.fifo_underflows
+        assert target.fifo_high_water == source.fifo_high_water
+        assert target.last_bus == source.last_bus
+        for a, b in zip(target.all_dnodes(), source.all_dnodes()):
+            assert (a.stats.cycles, a.stats.instructions,
+                    a.stats.arithmetic_ops, a.stats.multiplies,
+                    a.stats.fifo_pops) == \
+                (b.stats.cycles, b.stats.instructions,
+                 b.stats.arithmetic_ops, b.stats.multiplies,
+                 b.stats.fifo_pops)
+
+    def test_restore_drops_compiled_plan(self):
+        """The restore-invalidation contract: a restored ring must not
+        keep executing a plan compiled for its pre-restore state."""
+        source = busy_ring()
+        snapshot = capture(source)
+        target = busy_ring()
+        target.run(4, host_in=lambda ch: 1)
+        assert target._plan is not None
+        invalidations = target.plan_invalidations
+        restore(target, snapshot)
+        assert target._plan is None
+        assert target.plan_invalidations == invalidations + 1
+
+    def test_capture_has_no_side_effects(self):
+        """capture() must not materialize FIFO queues: digests before
+        and after a capture are equal, on the same ring."""
+        ring = busy_ring()
+        before = state_digest(ring)
+        capture(ring)
+        assert state_digest(ring) == before

@@ -1,0 +1,95 @@
+"""FaultCampaign: seeded sweeps with golden-run verification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.robustness import FaultCampaign, FaultKind
+
+from tests.robustness.conftest import ENGINES, busy_factory
+
+CYCLES = 40
+EVERY = 8
+
+
+def run_campaign(seed=7, trials=6, kinds=None, **ring_kwargs):
+    return FaultCampaign(busy_factory(**ring_kwargs), cycles=CYCLES,
+                         checkpoint_every=EVERY, seed=seed,
+                         trials=trials, kinds=kinds).run()
+
+
+@pytest.mark.parametrize("engine,kwargs", ENGINES,
+                         ids=[name for name, _ in ENGINES])
+class TestPerEngine:
+    def test_every_detected_fault_recovers(self, engine, kwargs):
+        result = run_campaign(**kwargs)
+        assert result.all_recovered
+        assert result.detected > 0, "campaign never landed a visible fault"
+
+    def test_same_seed_same_trace(self, engine, kwargs):
+        assert run_campaign(seed=11, **kwargs).trace() == \
+            run_campaign(seed=11, **kwargs).trace()
+
+    def test_different_seeds_differ(self, engine, kwargs):
+        assert run_campaign(seed=1, trials=8, **kwargs).trace() != \
+            run_campaign(seed=2, trials=8, **kwargs).trace()
+
+
+class TestCrossEngine:
+    def test_trace_is_engine_invariant(self):
+        """Same seed, same configuration -> the same faults are planned,
+        detected at the same boundaries, and recovered identically on
+        every engine.  The recovery trace is a property of the
+        architecture, not of the execution backend."""
+        traces = {name: FaultCampaign(busy_factory(**kwargs),
+                                      cycles=CYCLES,
+                                      checkpoint_every=EVERY, seed=7,
+                                      trials=6).run().trace()
+                  for name, kwargs in ENGINES}
+        reference = traces["interpreter"]
+        for name, trace in traces.items():
+            assert trace == reference, f"{name} trace diverged"
+
+
+class TestMechanics:
+    def test_config_faults_always_detected(self):
+        result = run_campaign(trials=8,
+                              kinds=[FaultKind.CONFIG_WORD,
+                                     FaultKind.STUCK_DNODE])
+        applied = [t for t in result.trials if t.applied]
+        assert applied, "no config fault landed"
+        assert all(t.detected for t in applied), \
+            "an applied configuration fault escaped digest detection"
+        assert result.all_recovered
+
+    def test_rollback_lands_on_prior_checkpoint(self):
+        result = run_campaign(trials=10)
+        for t in result.trials:
+            if not t.detected:
+                continue
+            assert t.rollback_cycle % EVERY == 0
+            assert t.rollback_cycle < t.detection_cycle
+            assert t.replayed_cycles == \
+                t.detection_cycle - t.rollback_cycle
+
+    def test_summary_counts(self):
+        result = run_campaign(trials=10)
+        assert result.injected == 10
+        assert result.detected + result.masked == result.injected
+        summary = result.summary()
+        assert summary["recovered"] == result.recovered
+        assert summary["all_recovered"] is True
+
+    def test_campaign_counters_accumulate_on_trial_rings(self):
+        # Each trial ring sees exactly one injection; the golden ring
+        # sees none.  Counters live on the rings, so just sanity-check
+        # the trace length here.
+        result = run_campaign(trials=4)
+        assert len(result.trace()) == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            FaultCampaign(busy_factory(), cycles=0, checkpoint_every=4,
+                          seed=1)
+        with pytest.raises(ConfigurationError, match="trial"):
+            FaultCampaign(busy_factory(), cycles=8, checkpoint_every=4,
+                          seed=1, trials=0)
