@@ -1,0 +1,133 @@
+"""Sharded multi-core throughput: B lanes split across worker processes.
+
+The shard backend (:mod:`repro.core.shardpath`) splits the batch
+engine's lane axis across OS processes over shared memory, so aggregate
+lane-cycles per second scale with cores instead of being pinned to one
+GIL.  This benchmark measures the steady-state 8-tap spatial FIR (the
+same operating point as ``test_batch_throughput.py``) at B = 32 with
+1/2/4 shard workers, records everything in ``BENCH_shard.json``, and —
+on hosts with at least 4 cores — asserts the acceptance target: 4
+workers sustain at least 1.5x the single-worker in-process rate.  On
+smaller hosts (CI runners are often 1-2 cores) the numbers are still
+recorded; the ratio assertion is skipped, since splitting one core
+across processes can only add IPC overhead.
+
+Run with ``pytest -s benchmarks/test_shard_throughput.py`` for the table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.core.ring import Ring, RingGeometry
+from repro.core.shardpath import FnStimulus
+from repro.kernels.fir import build_spatial_fir
+
+#: Acceptance floor: 4-worker aggregate throughput over the 1-worker
+#: in-process engine at the same lane count, asserted only when the host
+#: actually has 4 cores to scale onto.
+TARGET_SHARD_SPEEDUP = 1.5
+
+#: The lane count every operating point runs at.
+BATCH = 32
+
+#: Worker counts measured (1 = the in-process fallback engine).
+WORKER_POINTS = (1, 2, 4)
+
+#: Where the recorded numbers land (repo root, picked up by CI artifacts).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+
+_TAPS = [3, -1, 4, 1, -5, 9, 2, -6]
+
+
+def _fir_ring(**kwargs) -> Ring:
+    ring = Ring(RingGeometry(layers=len(_TAPS), width=2), **kwargs)
+    build_spatial_fir(_TAPS, ring=ring)
+    return ring
+
+
+def _host_zero(channel: int) -> int:
+    return 0
+
+
+def _cycles_per_second(ring: Ring, cycles: int, repeats: int = 3) -> float:
+    """Best-of-*repeats* chunk-mode steady-state throughput."""
+    stimulus = (FnStimulus(_host_zero) if ring.backend == "shard"
+                else _host_zero)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ring.run(cycles, host_in=stimulus)
+        elapsed = time.perf_counter() - start
+        best = max(best, cycles / elapsed)
+    return best
+
+
+def _measure() -> dict:
+    cycles = 2_000
+    points = {}
+
+    ring = _fir_ring(backend="batch", batch_size=BATCH)
+    ring.run(4, host_in=_host_zero)
+    points["batch"] = _cycles_per_second(ring, cycles)
+
+    for workers in WORKER_POINTS:
+        ring = _fir_ring(backend="shard", batch_size=BATCH,
+                         shard_workers=workers)
+        engine = ring.shard
+        try:
+            ring.run(4, host_in=FnStimulus(_host_zero))
+            rate = _cycles_per_second(ring, cycles)
+            points[f"shard_{workers}"] = rate
+            if workers > 1:
+                assert engine.using_processes or workers > (
+                    os.cpu_count() or 1), (
+                    "multi-worker pool unexpectedly fell back in-process"
+                )
+        finally:
+            engine.close()
+    return points
+
+
+def test_shard_scaling_records_and_meets_target():
+    cores = os.cpu_count() or 1
+    points = _measure()
+    base = points["shard_1"]
+
+    emit(render_table(
+        ["operating point", "cyc/s", "lane-cyc/s", "vs 1 worker"],
+        [[name, f"{rate:,.0f}", f"{rate * BATCH:,.0f}",
+          f"{rate / base:.2f}x"]
+         for name, rate in points.items()],
+        title=f"8-tap FIR sharded throughput, B={BATCH} ({cores} cores)",
+    ))
+
+    speedup = points[f"shard_{WORKER_POINTS[-1]}"] / base
+    BENCH_PATH.write_text(json.dumps({
+        "benchmark": "shard_throughput",
+        "fabric": f"Ring-{len(_TAPS) * 2} spatial FIR ({len(_TAPS)} taps)",
+        "batch": BATCH,
+        "cpu_count": cores,
+        "cycles_per_second": {
+            name: round(rate) for name, rate in points.items()},
+        "lane_cycles_per_second": {
+            name: round(rate * BATCH) for name, rate in points.items()},
+        "shard4_speedup_vs_shard1": round(speedup, 2),
+        "target_speedup": TARGET_SHARD_SPEEDUP,
+        "target_asserted": cores >= 4,
+    }, indent=2) + "\n")
+    emit(f"wrote {BENCH_PATH.name}")
+
+    if cores >= 4:
+        assert speedup >= TARGET_SHARD_SPEEDUP, (
+            f"shard-{WORKER_POINTS[-1]} sustained only {speedup:.2f}x the "
+            f"single-worker rate (target {TARGET_SHARD_SPEEDUP}x on "
+            f"{cores} cores)"
+        )
+    else:
+        emit(f"speedup assertion skipped: {cores} core(s) < 4")

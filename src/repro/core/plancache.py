@@ -109,9 +109,16 @@ class PlanCache:
         return False
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert/refresh an entry, evicting the LRU one past capacity."""
+        """Insert/refresh an entry, evicting the LRU one past capacity.
+
+        A stored key is no longer "missed": its pending-miss record is
+        purged, so if the entry is later evicted the configuration starts
+        over with the deferred compile policy instead of inheriting a
+        stale second-miss promotion.
+        """
         if not self.capacity:
             return
+        self._missed.pop(key, None)
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = value
@@ -122,8 +129,14 @@ class PlanCache:
             self.evictions += 1
 
     def discard(self, key: Hashable) -> None:
-        """Drop one entry if present (no eviction accounting)."""
+        """Drop one entry if present (no eviction accounting).
+
+        The missed-fingerprint record goes with it: a discarded plan's
+        configuration must re-earn eager compilation, not trigger it
+        spuriously on its next appearance.
+        """
         self._entries.pop(key, None)
+        self._missed.pop(key, None)
 
     def clear(self) -> None:
         """Drop every entry and the missed-fingerprint memory.

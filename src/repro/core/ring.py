@@ -229,7 +229,10 @@ class Ring:
     """A complete operative layer: Dnodes, switches, FIFOs, clock engine."""
 
     #: Valid values of the ``backend`` selector.
-    BACKENDS = ("interpreter", "fastpath", "batch")
+    BACKENDS = ("interpreter", "fastpath", "batch", "shard")
+
+    #: Backends whose state carries a lane axis of length ``batch_size``.
+    LANE_BACKENDS = ("batch", "shard")
 
     def __init__(self, geometry: RingGeometry,
                  strict_fifos: bool = False,
@@ -237,7 +240,8 @@ class Ring:
                  backend: Optional[str] = None,
                  batch_size: int = 1,
                  plan_cache: int = DEFAULT_CAPACITY,
-                 macro_step: int = 0):
+                 macro_step: int = 0,
+                 shard_workers: Optional[int] = None):
         self.geometry = geometry
         self.strict_fifos = strict_fifos
         if backend is None:
@@ -251,10 +255,18 @@ class Ring:
             raise ConfigurationError(
                 f"batch size must be >= 1, got {batch_size}"
             )
-        if batch_size > 1 and backend != "batch":
+        if batch_size > 1 and backend not in self.LANE_BACKENDS:
             raise ConfigurationError(
-                f"batch_size {batch_size} requires backend='batch', "
-                f"got {backend!r}"
+                f"batch_size {batch_size} requires backend='batch' or "
+                f"'shard', got {backend!r}"
+            )
+        if shard_workers is not None and backend != "shard":
+            raise ConfigurationError(
+                f"shard_workers requires backend='shard', got {backend!r}"
+            )
+        if shard_workers is not None and shard_workers < 1:
+            raise ConfigurationError(
+                f"shard workers must be >= 1, got {shard_workers}"
             )
         if macro_step < 0:
             raise ConfigurationError(
@@ -262,11 +274,16 @@ class Ring:
             )
         self.backend = backend
         self.batch_size = batch_size
+        #: Worker-pool width for ``backend="shard"`` (None = one worker
+        #: per available core, capped at the lane count).
+        self.shard_workers = shard_workers
         # The scalar fast path also backs batch mode at B=1: one lane of
         # NumPy-array indexing is strictly slower than the scalar plan
         # (~6x in BENCH_batch.json), and the lane-0 writeback contract is
         # trivially the scalar state itself.  The vector engine is only
-        # engaged at B>1 or once `ring.batch` has been handed out.
+        # engaged at B>1 or once `ring.batch` has been handed out.  The
+        # shard backend always engages its engine: worker-pool placement
+        # is the point, even at B=1.
         self.fastpath_enabled = (backend == "fastpath"
                                  or (backend == "batch" and batch_size == 1))
         #: Configuration-fingerprinted LRU cache of compiled plans (and
@@ -332,6 +349,8 @@ class Ring:
         self._invalidation_listeners: List[Callable[[], None]] = []
         #: Lazily created batch engine (backend == "batch" only).
         self._batch_engine = None
+        #: Lazily created sharded engine (backend == "shard" only).
+        self._shard_engine = None
         for layer_dnodes in self._dnodes:
             for dn in layer_dnodes:
                 dn.on_config_change = self._invalidate_fastpath
@@ -362,15 +381,55 @@ class Ring:
             self._batch_engine = BatchRing(self, self.batch_size)
         return self._batch_engine
 
+    @property
+    def shard(self):
+        """The attached :class:`~repro.core.shardpath.ShardedBatchRing`.
+
+        Only meaningful with ``backend="shard"``; created lazily (the
+        first access spawns the worker pool — or its single-process
+        fallback — seeded with the ring's current scalar state).
+        """
+        if self.backend != "shard":
+            raise ConfigurationError(
+                f"ring backend is {self.backend!r}, not 'shard'"
+            )
+        return self._ensure_shard()
+
+    def _ensure_shard(self):
+        if self._shard_engine is None:
+            from repro.core.shardpath import ShardedBatchRing
+            self._shard_engine = ShardedBatchRing(
+                self, self.batch_size, workers=self.shard_workers)
+        return self._shard_engine
+
+    def _lane_engine(self):
+        """The live lane engine for the current backend (batch | shard)."""
+        return (self._ensure_shard() if self.backend == "shard"
+                else self._ensure_batch())
+
+    def _lane_engine_active(self) -> bool:
+        """Should step()/run() dispatch to a lane engine this cycle?"""
+        if self.backend == "shard":
+            return True
+        return self.backend == "batch" and (
+            self.batch_size > 1 or self._batch_engine is not None)
+
+    def _detach_shard(self) -> None:
+        if self._shard_engine is not None:
+            self._shard_engine.detach()
+            self._shard_engine = None
+
     def set_backend(self, backend: str,
-                    batch_size: Optional[int] = None) -> None:
-        """Switch execution engine ("interpreter" | "fastpath" | "batch").
+                    batch_size: Optional[int] = None,
+                    shard_workers: Optional[int] = None) -> None:
+        """Switch execution engine
+        ("interpreter" | "fastpath" | "batch" | "shard").
 
         Safe at any point between cycles: the scalar state always
-        reflects the last committed cycle (the batch engine writes lane
+        reflects the last committed cycle (the lane engines write lane
         0 back after every run), so the new engine picks up exactly
-        where the old one stopped.  Entering batch mode broadcasts that
-        state across *batch_size* lanes.
+        where the old one stopped.  Entering batch or shard mode
+        broadcasts that state across *batch_size* lanes.
         """
         if backend not in self.BACKENDS:
             raise ConfigurationError(
@@ -378,21 +437,41 @@ class Ring:
                 f"{self.BACKENDS}"
             )
         if batch_size is None:
-            batch_size = self.batch_size if backend == "batch" else 1
+            batch_size = (self.batch_size
+                          if backend in self.LANE_BACKENDS else 1)
         if batch_size < 1:
             raise ConfigurationError(
                 f"batch size must be >= 1, got {batch_size}"
             )
-        if batch_size > 1 and backend != "batch":
+        if batch_size > 1 and backend not in self.LANE_BACKENDS:
             raise ConfigurationError(
-                f"batch_size {batch_size} requires backend='batch', "
-                f"got {backend!r}"
+                f"batch_size {batch_size} requires backend='batch' or "
+                f"'shard', got {backend!r}"
+            )
+        if shard_workers is not None and backend != "shard":
+            raise ConfigurationError(
+                f"shard_workers requires backend='shard', got {backend!r}"
+            )
+        if shard_workers is not None and shard_workers < 1:
+            raise ConfigurationError(
+                f"shard workers must be >= 1, got {shard_workers}"
             )
         if self._batch_engine is not None and (
                 backend != "batch"
                 or self._batch_engine.batch != batch_size):
             self._batch_engine.detach()
             self._batch_engine = None
+        if self._shard_engine is not None and (
+                backend != "shard"
+                or self._shard_engine.batch != batch_size):
+            self._detach_shard()
+        if shard_workers is not None:
+            self.shard_workers = shard_workers
+            if (self._shard_engine is not None
+                    and self._shard_engine.workers != shard_workers):
+                # Elastic path: migrate the live lanes instead of
+                # rebuilding from the lane-0 scalar mirror.
+                self._shard_engine.set_workers(shard_workers)
         self.backend = backend
         self.batch_size = batch_size
         self.fastpath_enabled = (backend == "fastpath"
@@ -405,12 +484,14 @@ class Ring:
         """Resize (or with 0, disable) the compiled-plan cache.
 
         Replaces the cache, so existing entries and lifetime counters are
-        dropped; the active plan (if any) is unaffected.  The batch
-        engine's kernel cache is resized to match.
+        dropped; the active plan (if any) is unaffected.  The lane
+        engines' kernel caches are resized to match.
         """
         self.plan_cache = PlanCache(capacity)
         if self._batch_engine is not None:
             self._batch_engine.set_plan_cache(capacity)
+        if self._shard_engine is not None:
+            self._shard_engine.set_plan_cache(capacity)
 
     def set_macro_step(self, macro_step: int) -> None:
         """Set the macro-step fusion target (0/1 disables fusion)."""
@@ -498,6 +579,8 @@ class Ring:
             # Keep the lane FIFOs coherent: a scalar push reaches every
             # lane (lane-specific loads go through BatchRing.push_fifo).
             self._batch_engine.push_fifo(layer, position, channel, values)
+        if self._shard_engine is not None:
+            self._shard_engine.push_fifo(layer, position, channel, values)
 
     def _fifo_peek(self, layer: int, position: int, channel: int) -> int:
         queue = self._fifos.get((layer, position, channel))
@@ -642,9 +725,8 @@ class Ring:
         """
         word.check(bus, "bus value")
         self.last_bus = bus
-        if self.backend == "batch" and (self.batch_size > 1
-                                        or self._batch_engine is not None):
-            engine = self._ensure_batch()
+        if self._lane_engine_active():
+            engine = self._lane_engine()
             engine.run(1, bus, host_in)
             engine.store_lane(0)
             if self._trace is not None:
@@ -875,8 +957,7 @@ class Ring:
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
         word.check(bus, "bus value")
-        if self.backend == "batch" and (self.batch_size > 1
-                                        or self._batch_engine is not None):
+        if self._lane_engine_active():
             self._run_batch(cycles, bus, host_in)
             return
         remaining = cycles
@@ -907,13 +988,14 @@ class Ring:
 
     def _run_batch(self, cycles: int, bus: int,
                    host_in: Optional[HostReader]) -> None:
-        """Batch-backend run loop: chunk between observer capture points.
+        """Lane-backend run loop: chunk between observer capture points.
 
-        Lane 0 is written back to the scalar structures before every
-        observer dispatch (and at the end of the run), so traces,
-        metrics and taps see exactly what they would on a scalar engine.
+        Shared by the batch and shard backends.  Lane 0 is written back
+        to the scalar structures before every observer dispatch (and at
+        the end of the run), so traces, metrics and taps see exactly
+        what they would on a scalar engine.
         """
-        engine = self._ensure_batch()
+        engine = self._lane_engine()
         remaining = cycles
         while remaining > 0:
             trace = self._trace
@@ -973,6 +1055,9 @@ class Ring:
             # it by broadcasting the (now cleared) scalar datapath.
             self._batch_engine.detach()
             self._batch_engine = None
+        # Same contract for the shard pool: detach also stops the worker
+        # processes and releases the shared-memory blocks.
+        self._detach_shard()
 
     # ------------------------------------------------------------------
     # Statistics

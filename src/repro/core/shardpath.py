@@ -1,0 +1,1139 @@
+"""Multi-core sharded execution of the batch engine's lane axis.
+
+The paper's scalability story is replication: the ring grows by adding
+identical columns, and nothing in the control plane changes.  The batch
+engine (:mod:`repro.core.batchpath`) already exploits the software dual
+of that claim — control flow is *lane-invariant*, only data differs per
+lane — which means the B lanes of a :class:`BatchRing` can be split
+across worker processes exactly the way the hardware splits across
+columns.  :class:`ShardedBatchRing` does that split:
+
+* the dense ``int32`` lane arrays (OUT registers, register files, switch
+  feedback pipelines) and the per-lane ``int64`` accounting arrays live
+  in :mod:`multiprocessing.shared_memory` blocks.  The parent holds
+  full-batch views; each worker builds a private :class:`BatchRing`
+  whose arrays are zero-copy *slices* of the same blocks, so lane state
+  advances in place and never crosses the control channel;
+* per chunk of cycles the parent exchanges only scalar lane-invariant
+  control with the pool: the cycle count, the shared pipeline rotation
+  head, local-sequencer phases, and lane-invariant statistics.  Growable
+  FIFO words stay worker-private and cross the channel only at explicit
+  sync points (lane writeback, checkpoint capture/restore, resharding);
+* every worker owns a plan cache keyed by the *same*
+  ``Ring.config_fingerprint()`` as the parent's, so a configuration the
+  pool has seen before re-adopts compiled kernels in one lookup on every
+  shard.  The parent's invalidation listener marks the pool dirty; the
+  next run broadcasts one configuration plane + the parent fingerprint,
+  and each worker verifies it reproduced the exact fingerprint before
+  executing — replicated plans can never drift from the parent's;
+* ``capture_lanes()`` / ``restore_lanes()`` speak the exact dict format
+  of :meth:`BatchRing.capture_lanes`, which doubles as the lane-
+  *migration* path: :meth:`ShardedBatchRing.set_workers` captures every
+  lane, rebuilds the pool at the new width, and restores the lanes onto
+  the new slicing — elastic resharding mid-run with bit-identical state.
+
+Graceful degradation: when ``multiprocessing.shared_memory`` is
+unavailable, process start fails, or only one worker is requested, the
+engine falls back to a single in-process :class:`BatchRing` behind the
+identical interface (``using_processes`` reports which mode is live).
+
+Host stimulus across the pool takes one of two shapes:
+
+* **chunk mode** — ``host_in`` is ``None`` or a picklable
+  :class:`ShardStimulus`; each worker resolves its own lane slice
+  locally for the whole chunk (one message per worker per chunk).
+  :meth:`repro.host.streams.DataController.shard_stimulus` freezes
+  queued stream words into this form (per-shard stream slicing);
+* **per-cycle mode** — any other callable: the parent resolves each
+  routed host channel once per cycle (reads must be stable within a
+  cycle, which every engine already requires of well-formed hosts) and
+  ships each worker its lane slice of the words.
+
+Known divergence, shared with the fast path and the batch engine: a
+strict-FIFO abort leaves the aborted cycle's partial state behind, and
+under sharding different shards may abort at different cycles (FIFO
+occupancy is per-lane).  The raised message is the scalar engine's
+exact text for the earliest-aborting shard.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro import word
+from repro.core.batchpath import BatchRing, LANE_DTYPE
+from repro.core.regfile import NUM_REGISTERS
+from repro.core.switch import PortKind
+from repro.errors import ConfigurationError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ring import Ring
+
+#: Lane-invariant per-Dnode statistics exchanged per chunk (``fifo_pops``
+#: is per-lane and lives in shared memory instead).
+_STAT_FIELDS = ("cycles", "instructions", "arithmetic_ops", "multiplies")
+
+#: Seconds the parent waits for a worker's startup handshake before
+#: falling back to the in-process engine.
+_SPAWN_TIMEOUT = 60.0
+
+
+# ----------------------------------------------------------------------
+# Chunk-mode host stimuli (picklable)
+# ----------------------------------------------------------------------
+
+
+def _slice_words(value, lo: Optional[int], hi: Optional[int]):
+    """Slice a full-batch host read down to one shard's lane span."""
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    arr = np.asarray(value)
+    if lo is not None and arr.ndim:
+        arr = arr[lo:hi]
+    return arr
+
+
+class ShardStimulus:
+    """Base class of picklable chunk-mode host stimuli.
+
+    A stimulus answers :meth:`lane_words` — the word(s) presented on a
+    host channel at an absolute fabric cycle, either a scalar (broadcast
+    to every lane of the shard) or an integer array covering the shard's
+    lane span.  :meth:`sliced` narrows a full-batch stimulus to one
+    shard before it is shipped to the worker.
+    """
+
+    def lane_words(self, channel: int, cycle: int):
+        raise NotImplementedError
+
+    def sliced(self, lo: int, hi: int) -> "ShardStimulus":
+        raise NotImplementedError
+
+
+class CycleStimulus(ShardStimulus):
+    """Wraps a picklable ``fn(channel, cycle)`` host function.
+
+    The function may return a scalar word or a full-batch ``(B,)``
+    sequence; sharding slices the sequence down to the worker's lanes.
+    Use :func:`functools.partial` over a module-level function to keep
+    the payload picklable.
+    """
+
+    def __init__(self, fn: Callable[[int, int], object],
+                 lo: Optional[int] = None, hi: Optional[int] = None):
+        self.fn = fn
+        self.lo = lo
+        self.hi = hi
+
+    def lane_words(self, channel: int, cycle: int):
+        return _slice_words(self.fn(channel, cycle), self.lo, self.hi)
+
+    def sliced(self, lo: int, hi: int) -> "CycleStimulus":
+        return CycleStimulus(self.fn, lo, hi)
+
+
+class FnStimulus(ShardStimulus):
+    """Wraps a picklable cycle-invariant ``fn(channel)`` host function."""
+
+    def __init__(self, fn: Callable[[int], object],
+                 lo: Optional[int] = None, hi: Optional[int] = None):
+        self.fn = fn
+        self.lo = lo
+        self.hi = hi
+
+    def lane_words(self, channel: int, cycle: int):
+        return _slice_words(self.fn(channel), self.lo, self.hi)
+
+    def sliced(self, lo: int, hi: int) -> "FnStimulus":
+        return FnStimulus(self.fn, lo, hi)
+
+
+class StreamStimulus(ShardStimulus):
+    """Finite stream queues frozen for a chunk run, one word per cycle.
+
+    ``channels`` maps a channel index to either ``("all", [words])`` — a
+    scalar queue broadcast to every lane — or ``("lanes", [[words],
+    ...])`` with one queue per lane of the *full* batch.  A queue that
+    runs out presents the channel's idle word, exactly like a live
+    :class:`~repro.host.streams.StreamChannel`.  ``base_cycle`` anchors
+    the queues to the fabric cycle at which the chunk starts.
+    """
+
+    def __init__(self, base_cycle: int, channels: Dict[int, tuple],
+                 idle: Optional[Dict[int, int]] = None,
+                 lo: Optional[int] = None, hi: Optional[int] = None):
+        self.base = base_cycle
+        self.channels = channels
+        self.idle = idle or {}
+        self.lo = lo
+        self.hi = hi
+
+    def lane_words(self, channel: int, cycle: int):
+        offset = cycle - self.base
+        idle = self.idle.get(channel, 0)
+        spec = self.channels.get(channel)
+        if spec is None:
+            return idle
+        kind, data = spec
+        if kind == "all":
+            return int(data[offset]) if offset < len(data) else idle
+        lanes = data if self.lo is None else data[self.lo:self.hi]
+        return np.array(
+            [lane[offset] if offset < len(lane) else idle
+             for lane in lanes], dtype=np.int64)
+
+    def sliced(self, lo: int, hi: int) -> "StreamStimulus":
+        return StreamStimulus(self.base, self.channels, self.idle, lo, hi)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _attach_block(shared_memory, name,  # pragma: no cover - subprocess
+                  unregister: bool):
+    """Attach to a parent-owned block without adopting its lifetime.
+
+    Under a *spawn* context each worker runs its own resource tracker,
+    which registers the segment on attach and would unlink it when the
+    worker exits — stealing the parent's memory.  Drop that registration.
+    Under *fork* the tracker process is shared with the parent, so an
+    unregister here would cancel the parent's own registration and turn
+    its eventual unlink into tracker noise — leave it alone.
+    """
+    block = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:
+            pass
+    return block
+
+
+def _control_of(ring, engine) -> dict:  # pragma: no cover - subprocess
+    """The scalar lane-invariant control a worker reports per chunk."""
+    return {
+        "cycles": ring.cycles,
+        "head": engine._head,
+        "counters": {key: cell[0]
+                     for key, cell in engine._counters.items()},
+        "stats": {
+            (dn.layer, dn.position): tuple(
+                getattr(dn.stats, name) for name in _STAT_FIELDS)
+            for dn in ring.all_dnodes()
+        },
+        "compiles": engine.compiles,
+        "invalidations": engine.invalidations,
+    }
+
+
+def _worker_fifo_dump(engine, lane):  # pragma: no cover - subprocess
+    """FIFO words for one local lane (or every local lane when None)."""
+    if lane is None:
+        return {
+            key: [fifo.contents(i) for i in range(engine.batch)]
+            for key, fifo in engine._fifos.items()
+            if int(fifo.count.max()) > 0
+        }
+    return {key: fifo.contents(lane)
+            for key, fifo in engine._fifos.items()}
+
+
+def _shard_worker_main(conn, shm_names,  # pragma: no cover - subprocess
+                       geometry, strict_fifos, cache_capacity, snapshot,
+                       lo, hi, total, unregister):
+    """Worker loop: own lanes ``[lo, hi)`` of a *total*-lane batch.
+
+    Builds a private ring from the parent's snapshot (configuration +
+    scalar runtime state), opens the shared lane blocks, and serves
+    commands until told to stop.  Runs in a child process, so coverage
+    never sees it; the in-process helpers above carry the logic that is
+    unit-testable.
+    """
+    from multiprocessing import shared_memory
+    from repro.core.ring import Ring, RingGeometry
+    from repro.core.snapshot import restore as restore_snapshot
+
+    layers, width, depth = geometry
+    blocks = []
+    try:
+        ring = Ring(RingGeometry(layers, width, depth),
+                    strict_fifos=strict_fifos, plan_cache=cache_capacity)
+        restore_snapshot(ring, snapshot)
+        arrays = {}
+        for name, shape_of in BatchRing.ARRAY_SHAPES.items():
+            block = _attach_block(shared_memory, shm_names[name],
+                                  unregister)
+            blocks.append(block)
+            dtype = np.int64 if name in ("underflows", "fifo_pops") \
+                else LANE_DTYPE
+            full = np.ndarray(shape_of(layers, width, depth, total),
+                              dtype=dtype, buffer=block.buf)
+            arrays[name] = full[..., lo:hi]
+        engine = BatchRing(ring, hi - lo, arrays=arrays)
+        conn.send(("ready", None))
+    except Exception as exc:
+        try:
+            conn.send(("fatal", type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+        return
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        try:
+            if cmd == "run":
+                _, cycles, bus, stim = msg
+                host = None
+                if stim is not None:
+                    host = (lambda ch, _s=stim, _r=ring:
+                            _s.lane_words(ch, _r.cycles))
+                executed = engine.run(cycles, bus, host)
+                control = _control_of(ring, engine)
+                control["executed"] = executed
+                reply = ("ok", control)
+            elif cmd == "fifos":
+                reply = ("ok", _worker_fifo_dump(engine, msg[1]))
+            elif cmd == "push":
+                _, key, values, lane = msg
+                engine.push_fifo(*key, values, lane=lane)
+                reply = ("ok", None)
+            elif cmd == "sync":
+                _, plane, counters, stats, fingerprint = msg
+                ring.config.apply_plane(plane)
+                _apply_scalars(ring, counters, stats)
+                if (fingerprint is not None
+                        and ring.config_fingerprint() != fingerprint):
+                    raise SimulationError(
+                        "shard worker configuration fingerprint diverged "
+                        "from the parent's"
+                    )
+                reply = ("ok", None)
+            elif cmd == "restore":
+                _, meta = msg
+                ring.cycles = meta["cycles"]
+                _apply_scalars(ring, meta["counters"], meta["stats"])
+                engine.restore_lanes({
+                    "batch": engine.batch,
+                    # Dense families already hold the restored words —
+                    # the parent wrote them straight into shared memory —
+                    # so round-trip them through the standard format.
+                    "outs": engine.outs.tolist(),
+                    "regs": engine.regs.tolist(),
+                    "pipes": engine.pipes.tolist(),
+                    "head": meta["head"],
+                    "counters": meta["counters"],
+                    "fifos": meta["fifos"],
+                    "lane_underflows": engine.lane_underflows.tolist(),
+                    "lane_fifo_pops": {
+                        key: counts.tolist()
+                        for key, counts in engine.lane_fifo_pops.items()
+                    },
+                })
+                reply = ("ok", None)
+            elif cmd == "cache":
+                engine.set_plan_cache(msg[1])
+                reply = ("ok", None)
+            elif cmd == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                raise SimulationError(f"unknown shard command {cmd!r}")
+        except Exception as exc:
+            reply = ("error", type(exc).__name__, str(exc),
+                     _control_of(ring, engine))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    for block in blocks:
+        try:
+            block.close()
+        except Exception:
+            pass
+
+
+def _apply_scalars(ring, counters: dict, stats: Optional[dict]) -> None:
+    """Write lane-invariant counters/statistics into a ring's Dnodes."""
+    for (l, p), value in counters.items():
+        ring._dnodes[l][p].local._counter = value
+    if stats:
+        for (l, p), values in stats.items():
+            dn_stats = ring._dnodes[l][p].stats
+            for name, value in zip(_STAT_FIELDS, values):
+                setattr(dn_stats, name, value)
+
+
+# ----------------------------------------------------------------------
+# The sharded engine
+# ----------------------------------------------------------------------
+
+
+def shard_spans(batch: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` lane spans, remainder spread evenly."""
+    base, extra = divmod(batch, workers)
+    spans = []
+    lo = 0
+    for w in range(workers):
+        hi = lo + base + (1 if w < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+class ShardedBatchRing:
+    """B lanes of one ring configuration, split across worker processes.
+
+    Drop-in for :class:`BatchRing` behind ``Ring(backend="shard",
+    batch_size=B, shard_workers=N)``: identical run/writeback/
+    checkpoint interface, identical per-lane bit behaviour (proved by
+    the differential suite across worker counts).  See the module
+    docstring for the shared-memory layout and control protocol.
+    """
+
+    def __init__(self, ring: "Ring", batch: int,
+                 workers: Optional[int] = None):
+        if batch < 1:
+            raise ConfigurationError(
+                f"batch size must be >= 1, got {batch}"
+            )
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"shard workers must be >= 1, got {workers}"
+            )
+        self.ring = ring
+        self.batch = batch
+        if workers is None:
+            workers = min(batch, os.cpu_count() or 1)
+        self.workers = min(workers, batch)
+        g = ring.geometry
+        self._geometry = (g.layers, g.width, g.pipeline_depth)
+        self._head = 0
+        self._counters: Dict[Tuple[int, int], List[int]] = {
+            (l, p): [0] for l in range(g.layers) for p in range(g.width)
+        }
+        self._cache_capacity = ring.plan_cache.capacity
+        #: Pool/engine lifecycle counters (shard metric families).
+        self.chunks = 0
+        self.syncs = 0
+        self.reshards = 0
+        self.messages = 0
+        self.compiles = 0
+        self.invalidations = 0
+        self.using_processes = False
+        self._inline: Optional[BatchRing] = None
+        self._blocks: list = []
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._procs: list = []
+        self._conns: list = []
+        self._spans: List[Tuple[int, int]] = []
+        self._config_dirty = False
+        self._detached = False
+        self._closed = False
+        ring.add_invalidation_listener(self._on_config_change)
+        if self.workers > 1 and self._start_pool(self.workers):
+            self.using_processes = True
+        else:
+            self._activate_inline()
+
+    # -- shared-memory pool lifecycle ----------------------------------
+
+    @staticmethod
+    def _shared_memory_module():
+        """The shm module, or None when the platform lacks it."""
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - platform dependent
+            return None
+        return shared_memory
+
+    def _allocate_blocks(self, shared_memory) -> bool:
+        """Create the lane blocks and the parent's full-batch views."""
+        layers, width, depth = self._geometry
+        try:
+            for name, shape_of in BatchRing.ARRAY_SHAPES.items():
+                shape = shape_of(layers, width, depth, self.batch)
+                dtype = np.dtype(np.int64) if name in (
+                    "underflows", "fifo_pops") else np.dtype(LANE_DTYPE)
+                size = int(np.prod(shape)) * dtype.itemsize
+                block = shared_memory.SharedMemory(create=True, size=size)
+                self._blocks.append(block)
+                self._arrays[name] = np.ndarray(shape, dtype=dtype,
+                                                buffer=block.buf)
+        except OSError:  # pragma: no cover - platform dependent
+            self._release_blocks()
+            return False
+        return True
+
+    def _release_blocks(self) -> None:
+        self._arrays = {}
+        for block in self._blocks:
+            try:
+                block.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+            try:
+                block.unlink()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        self._blocks = []
+
+    def _bootstrap_snapshot(self):
+        """Scalar snapshot of the parent ring for worker bringup.
+
+        The parent ring may already point at *this* engine (resharding
+        mid-run); hide it so the capture stays scalar-only.
+        """
+        from repro.core.snapshot import capture
+        previous = getattr(self.ring, "_shard_engine", None)
+        self.ring._shard_engine = None
+        try:
+            return capture(self.ring)
+        finally:
+            self.ring._shard_engine = previous
+
+    def _start_pool(self, workers: int) -> bool:
+        """Spawn *workers* processes over the shared blocks.
+
+        Returns False (after cleaning up) whenever any piece of the
+        multi-process machinery is unavailable, letting the caller fall
+        back to the in-process engine.
+        """
+        shared_memory = self._shared_memory_module()
+        if shared_memory is None:  # pragma: no cover - platform dependent
+            return False
+        import multiprocessing as mp
+        try:
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context(
+                "fork" if "fork" in methods else methods[0])
+        except Exception:  # pragma: no cover - platform dependent
+            return False
+        if not self._blocks and not self._allocate_blocks(shared_memory):
+            return False  # pragma: no cover - platform dependent
+        snapshot = self._bootstrap_snapshot()
+        names = {name: block.name
+                 for name, block in zip(BatchRing.ARRAY_SHAPES,
+                                        self._blocks)}
+        spans = shard_spans(self.batch, workers)
+        procs, conns = [], []
+        try:
+            for lo, hi in spans:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, names, self._geometry,
+                          self.ring.strict_fifos, self._cache_capacity,
+                          snapshot, lo, hi, self.batch,
+                          ctx.get_start_method() != "fork"),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+            for conn in conns:
+                if not conn.poll(_SPAWN_TIMEOUT):
+                    raise OSError("shard worker handshake timed out")
+                reply = conn.recv()
+                if reply[0] != "ready":
+                    raise OSError(
+                        f"shard worker failed to start: {reply[1:]}"
+                    )
+        except Exception:
+            for conn in conns:
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                proc.join(timeout=5)
+            return False
+        self._procs = procs
+        self._conns = conns
+        self._spans = spans
+        self.workers = workers
+        self._config_dirty = False
+        self._sync_mirrors_from_ring()
+        return True
+
+    def _sync_mirrors_from_ring(self) -> None:
+        """Adopt the parent ring's scalars as the pool-wide mirrors."""
+        ring = self.ring
+        heads = {sw._head for sw in ring._switches}
+        if len(heads) != 1:  # pragma: no cover - heads move in lockstep
+            raise SimulationError(
+                "switch pipeline heads diverged; cannot shard"
+            )
+        self._head = ring._switches[0]._head
+        for (l, p), cell in self._counters.items():
+            cell[0] = ring._dnodes[l][p].local._counter
+
+    def _stop_pool(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn in self._conns:
+            try:
+                if conn.poll(5):
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - best effort
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._procs = []
+        self._conns = []
+        self._spans = []
+
+    def _activate_inline(self) -> None:
+        """Single-process fallback: one private in-process BatchRing."""
+        self._inline = BatchRing(self.ring, self.batch)
+        self._inline.set_plan_cache(self._cache_capacity)
+        self.using_processes = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the pool and release the shared blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.using_processes:
+            self._stop_pool()
+        self._release_blocks()
+        if self._inline is not None:
+            self._inline.detach()
+            self._inline = None
+
+    def detach(self) -> None:
+        """Unhook from the ring's invalidation chain and shut down."""
+        self.ring.remove_invalidation_listener(self._on_config_change)
+        self._detached = True
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _on_config_change(self) -> None:
+        if self.using_processes and not self._config_dirty:
+            self._config_dirty = True
+            self.invalidations += 1
+            self.ring.plan_invalidations += 1
+
+    # -- messaging ------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._detached:
+            raise SimulationError(
+                "shard engine is detached from its ring")
+        if self._closed:
+            raise SimulationError("shard engine is closed")
+
+    def _send_all(self, msg) -> None:
+        for conn in self._conns:
+            conn.send(msg)
+        self.messages += len(self._conns)
+
+    def _recv_all(self) -> list:
+        replies = []
+        for conn in self._conns:
+            try:
+                replies.append(conn.recv())
+            except (EOFError, OSError):
+                raise SimulationError("shard worker died mid-run")
+        return replies
+
+    def _broadcast(self, msg) -> list:
+        self._send_all(msg)
+        replies = self._recv_all()
+        for reply in replies:
+            if reply[0] == "error":
+                raise SimulationError(reply[2])
+        return [reply[1] for reply in replies]
+
+    def _ask(self, worker: int, msg):
+        conn = self._conns[worker]
+        conn.send(msg)
+        self.messages += 1
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError):
+            raise SimulationError("shard worker died mid-run")
+        if reply[0] == "error":
+            raise SimulationError(reply[2])
+        return reply[1]
+
+    def _owner(self, lane: int) -> Tuple[int, int]:
+        """(worker index, lane index local to that worker)."""
+        for w, (lo, hi) in enumerate(self._spans):
+            if lo <= lane < hi:
+                return w, lane - lo
+        raise ConfigurationError(
+            f"lane {lane} outside every shard span")  # pragma: no cover
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.batch:
+            raise ConfigurationError(
+                f"lane must be 0..{self.batch - 1}, got {lane}"
+            )
+
+    # -- configuration replication --------------------------------------
+
+    def _sync_config(self) -> None:
+        """Broadcast the parent configuration + scalars to the pool."""
+        ring = self.ring
+        plane = ring.config.capture_plane()
+        counters = {
+            key: ring._dnodes[key[0]][key[1]].local._counter
+            for key in self._counters
+        }
+        stats = {
+            (dn.layer, dn.position): tuple(
+                getattr(dn.stats, name) for name in _STAT_FIELDS)
+            for dn in ring.all_dnodes()
+        }
+        self._broadcast(("sync", plane, counters, stats,
+                         ring.config_fingerprint()))
+        self._sync_mirrors_from_ring()
+        self._config_dirty = False
+        self.syncs += 1
+
+    def host_channels(self) -> set:
+        """Host channel indices the current configuration reads."""
+        channels = set()
+        width = self.ring.geometry.width
+        for sw in self.ring._switches:
+            for pos in range(width):
+                for port in (1, 2):
+                    src = sw.config.source_for(pos, port)
+                    if src.kind is PortKind.HOST:
+                        channels.add(src.index)
+        return channels
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, cycles: int, bus: int = 0, host_in=None) -> int:
+        """Advance every lane by *cycles* clocks across the pool.
+
+        ``host_in`` may be None, a picklable :class:`ShardStimulus`
+        (chunk mode), or any callable (per-cycle parent-resolved mode).
+        Returns the number of cycles fully executed.
+        """
+        self._check_live()
+        if cycles < 0:
+            raise SimulationError(
+                f"cycle count must be >= 0, got {cycles}")
+        word.check(bus, "bus value")
+        if self._inline is not None:
+            host = host_in
+            if isinstance(host_in, ShardStimulus):
+                host = (lambda ch, _s=host_in, _r=self.ring:
+                        _s.lane_words(ch, _r.cycles))
+            return self._inline.run(cycles, bus, host)
+        if self._config_dirty:
+            self._sync_config()
+        if host_in is None or isinstance(host_in, ShardStimulus):
+            executed = self._chunk_run(cycles, bus, host_in)
+        else:
+            executed = self._percycle_run(cycles, bus, host_in)
+        self.ring.last_bus = bus
+        return executed
+
+    def step(self, bus: int = 0, host_in=None) -> None:
+        """Advance every lane by one clock cycle."""
+        self.run(1, bus=bus, host_in=host_in)
+
+    def _chunk_run(self, cycles: int, bus: int,
+                   stim: Optional[ShardStimulus]) -> int:
+        for conn, (lo, hi) in zip(self._conns, self._spans):
+            shard_stim = None if stim is None else stim.sliced(lo, hi)
+            conn.send(("run", cycles, bus, shard_stim))
+        self.messages += len(self._conns)
+        replies = self._recv_all()
+        self.chunks += 1
+        return self._apply_run_replies(replies)
+
+    def _percycle_run(self, cycles: int, bus: int, host_in) -> int:
+        channels = sorted(self.host_channels())
+        executed = 0
+        for _ in range(cycles):
+            words = {}
+            for channel in channels:
+                value = host_in(channel)
+                if isinstance(value, (int, np.integer)):
+                    words[channel] = word.check(
+                        int(value), f"host channel {channel}")
+                else:
+                    arr = np.asarray(value)
+                    if arr.shape != (self.batch,):
+                        raise SimulationError(
+                            f"host channel {channel} batch read must "
+                            f"have shape ({self.batch},), got {arr.shape}"
+                        )
+                    words[channel] = arr
+            for conn, (lo, hi) in zip(self._conns, self._spans):
+                shard_words = {
+                    ch: _slice_words(value, lo, hi)
+                    for ch, value in words.items()
+                }
+                conn.send(("run", 1, bus,
+                           _WordsStimulus(shard_words)))
+            self.messages += len(self._conns)
+            replies = self._recv_all()
+            self.chunks += 1
+            executed += self._apply_run_replies(replies,
+                                                per_cycle=True)
+        return executed
+
+    def _apply_run_replies(self, replies: list,
+                           per_cycle: bool = False) -> int:
+        """Fold the workers' chunk reports into the parent mirrors.
+
+        All shards execute lane-invariant control, so their reports
+        agree except after a strict-FIFO abort, where the parent adopts
+        the earliest-aborting shard's state and re-raises its error.
+        """
+        error = None
+        best = None
+        for reply in replies:
+            if reply[0] == "error":
+                control = reply[3]
+                if error is None or control["cycles"] < error[1]["cycles"]:
+                    error = (reply[2], control)
+            else:
+                control = reply[1]
+                if best is None or control["cycles"] < best["cycles"]:
+                    best = control
+        control = error[1] if error is not None else best
+        self._apply_control(control)
+        if error is not None:
+            raise SimulationError(error[0])
+        return best.get("executed", 0)
+
+    def _apply_control(self, control: dict) -> None:
+        ring = self.ring
+        ring.cycles = control["cycles"]
+        self._head = control["head"]
+        for key, value in control["counters"].items():
+            self._counters[key][0] = value
+        _apply_scalars(ring, control["counters"], control["stats"])
+        self.compiles = control["compiles"]
+
+    # -- lane state access ---------------------------------------------
+
+    @property
+    def lane_underflows(self) -> np.ndarray:
+        if self._inline is not None:
+            return self._inline.lane_underflows
+        return self._arrays["underflows"]
+
+    @property
+    def lane_fifo_pops(self) -> Dict[Tuple[int, int], np.ndarray]:
+        if self._inline is not None:
+            return self._inline.lane_fifo_pops
+        pops = self._arrays["fifo_pops"]
+        layers, width, _ = self._geometry
+        return {(l, p): pops[l, p]
+                for l in range(layers) for p in range(width)}
+
+    def lane_outs(self, layer: int, position: int) -> np.ndarray:
+        """The OUT register of one Dnode across all lanes (a copy)."""
+        if self._inline is not None:
+            return self._inline.lane_outs(layer, position)
+        self.ring.dnode(layer, position)
+        return self._arrays["outs"][layer, position].copy()
+
+    def lane_regs(self, layer: int, position: int) -> np.ndarray:
+        """The register file of one Dnode across all lanes (a copy)."""
+        if self._inline is not None:
+            return self._inline.lane_regs(layer, position)
+        self.ring.dnode(layer, position)
+        return self._arrays["regs"][layer, position].copy()
+
+    def fifo_contents(self, layer: int, position: int, channel: int,
+                      lane: int) -> List[int]:
+        """One lane's view of a Dnode input FIFO."""
+        if self._inline is not None:
+            return self._inline.fifo_contents(layer, position, channel,
+                                              lane)
+        self._check_lane(lane)
+        worker, local = self._owner(lane)
+        dump = self._ask(worker, ("fifos", local))
+        return dump.get((layer, position, channel), [])
+
+    def push_fifo(self, layer: int, position: int, channel: int,
+                  values, lane: Optional[int] = None) -> None:
+        """Queue words on one lane's FIFO (``lane=None`` = every lane)."""
+        if self._inline is not None:
+            self._inline.push_fifo(layer, position, channel, values,
+                                   lane=lane)
+            return
+        self._check_live()
+        self.ring.dnode(layer, position)
+        if channel not in (1, 2):
+            raise ConfigurationError(
+                f"FIFO channel must be 1 or 2, got {channel}"
+            )
+        if isinstance(values, (int, np.integer)):
+            values = [int(values)]
+        checked = [word.check(int(v), "FIFO push") for v in values]
+        key = (layer, position, channel)
+        if lane is None:
+            self._broadcast(("push", key, checked, None))
+            return
+        self._check_lane(lane)
+        worker, local = self._owner(lane)
+        self._ask(worker, ("push", key, checked, local))
+
+    def set_plan_cache(self, capacity: int) -> None:
+        """Resize every worker's kernel cache (0 disables caching)."""
+        self._cache_capacity = capacity
+        if self._inline is not None:
+            self._inline.set_plan_cache(capacity)
+            return
+        self._broadcast(("cache", capacity))
+
+    # -- state writeback ------------------------------------------------
+
+    def store_lane(self, lane: int = 0,
+                   target: Optional["Ring"] = None) -> None:
+        """Write one lane's datapath state into a scalar ring.
+
+        Mirrors :meth:`BatchRing.store_lane`: dense state comes straight
+        from the shared blocks, FIFO words from the lane's owning
+        worker, lane-invariant control from the parent mirrors.
+        """
+        if self._inline is not None:
+            self._inline.store_lane(lane, target)
+            return
+        self._check_live()
+        self._check_lane(lane)
+        ring = self.ring
+        if target is None:
+            target = ring
+        g = ring.geometry
+        if target.geometry != g:
+            raise ConfigurationError(
+                f"target geometry {target.geometry} != {g}"
+            )
+        worker, local = self._owner(lane)
+        fifos = self._ask(worker, ("fifos", local))
+        outs = self._arrays["outs"]
+        regs = self._arrays["regs"]
+        pipes = self._arrays["pipes"]
+        pops = self._arrays["fifo_pops"]
+        for l in range(g.layers):
+            for p in range(g.width):
+                src = ring._dnodes[l][p]
+                dn = target._dnodes[l][p]
+                dn._out = int(outs[l, p, lane])
+                dn._out_pending = None
+                vals = dn.regs._values
+                for r in range(NUM_REGISTERS):
+                    vals[r] = int(regs[l, p, r, lane])
+                dn.local._counter = self._counters[(l, p)][0]
+                stats, sstats = dn.stats, src.stats
+                stats.cycles = sstats.cycles
+                stats.instructions = sstats.instructions
+                stats.arithmetic_ops = sstats.arithmetic_ops
+                stats.multiplies = sstats.multiplies
+                stats.fifo_pops = int(pops[l, p, lane])
+        for l in range(g.layers):
+            sw = target._switches[l]
+            sw._head = self._head
+            for j in range(g.width):
+                pipe = sw._pipes[j]
+                col = pipes[l, j, :, lane]
+                for d in range(g.pipeline_depth):
+                    pipe[d] = int(col[d])
+        for key, contents in fifos.items():
+            queue = target.fifo(*key)
+            queue.clear()
+            queue.extend(contents)
+        target.cycles = ring.cycles
+        target.fifo_underflows = int(self._arrays["underflows"][lane])
+        if target is not ring:
+            target.last_bus = ring.last_bus
+
+    # -- lane checkpointing / migration ---------------------------------
+
+    def capture_lanes(self) -> dict:
+        """Freeze the full cross-shard lane state as plain Python data.
+
+        Same format as :meth:`BatchRing.capture_lanes`, so snapshots,
+        digests and cross-engine comparisons are interchangeable — and
+        so a capture taken at one worker count restores at any other
+        (the migration path for :meth:`set_workers`).
+        """
+        if self._inline is not None:
+            return self._inline.capture_lanes()
+        self._check_live()
+        dumps = self._broadcast(("fifos", None))
+        merged: Dict[tuple, List[List[int]]] = {}
+        keys = set()
+        for dump in dumps:
+            keys.update(dump.keys())
+        for key in keys:
+            lanes: List[List[int]] = []
+            for dump, (lo, hi) in zip(dumps, self._spans):
+                lanes.extend(dump.get(key, [[] for _ in range(hi - lo)]))
+            merged[key] = lanes
+        return {
+            "batch": self.batch,
+            "outs": self._arrays["outs"].tolist(),
+            "regs": self._arrays["regs"].tolist(),
+            "pipes": self._arrays["pipes"].tolist(),
+            "head": self._head,
+            "counters": {key: cell[0]
+                         for key, cell in self._counters.items()},
+            "fifos": merged,
+            "lane_underflows": self._arrays["underflows"].tolist(),
+            "lane_fifo_pops": {
+                key: self._arrays["fifo_pops"][key].tolist()
+                for key in self._counters
+            },
+        }
+
+    def restore_lanes(self, state: dict) -> None:
+        """Load a :meth:`capture_lanes` snapshot across the pool.
+
+        The dense families are written straight into shared memory; each
+        worker receives its slice of the FIFO words plus the scalar
+        mirrors, rebuilds its queues, and drops its kernels exactly as
+        :meth:`BatchRing.restore_lanes` does.
+        """
+        if self._inline is not None:
+            self._inline.restore_lanes(state)
+            return
+        self._check_live()
+        if state["batch"] != self.batch:
+            raise SimulationError(
+                f"lane snapshot holds {state['batch']} lanes; engine has "
+                f"{self.batch}"
+            )
+        self._arrays["outs"][:] = np.asarray(state["outs"],
+                                             dtype=LANE_DTYPE)
+        self._arrays["regs"][:] = np.asarray(state["regs"],
+                                             dtype=LANE_DTYPE)
+        self._arrays["pipes"][:] = np.asarray(state["pipes"],
+                                              dtype=LANE_DTYPE)
+        self._arrays["underflows"][:] = np.asarray(
+            state["lane_underflows"], dtype=np.int64)
+        for key, counts in state["lane_fifo_pops"].items():
+            self._arrays["fifo_pops"][key][:] = np.asarray(
+                counts, dtype=np.int64)
+        self._head = state["head"]
+        for key, value in state["counters"].items():
+            self._counters[key][0] = value
+        ring = self.ring
+        stats = {
+            (dn.layer, dn.position): tuple(
+                getattr(dn.stats, name) for name in _STAT_FIELDS)
+            for dn in ring.all_dnodes()
+        }
+        for conn, (lo, hi) in zip(self._conns, self._spans):
+            meta = {
+                "cycles": ring.cycles,
+                "head": state["head"],
+                "counters": state["counters"],
+                "stats": stats,
+                "fifos": {key: lanes[lo:hi]
+                          for key, lanes in state["fifos"].items()},
+            }
+            conn.send(("restore", meta))
+        self.messages += len(self._conns)
+        for reply in self._recv_all():
+            if reply[0] == "error":
+                raise SimulationError(reply[2])
+        # Re-align the scalar mirror with the restored lane 0 — the same
+        # writeback contract as the in-process engine.
+        self.store_lane(0)
+
+    def set_workers(self, workers: int) -> None:
+        """Elastically reshard: migrate every lane to a new pool width.
+
+        Captures the full lane state, rebuilds the worker pool at the
+        new width (or drops to the in-process engine at 1), and restores
+        the lanes onto the new slicing — bit-identical migration, proven
+        by the reshard differential tests.
+        """
+        self._check_live()
+        if workers < 1:
+            raise ConfigurationError(
+                f"shard workers must be >= 1, got {workers}"
+            )
+        workers = min(workers, self.batch)
+        if workers == self.workers and (
+                self.using_processes or workers == 1):
+            return
+        state = self.capture_lanes()
+        if self._inline is not None:
+            self._inline.detach()
+            self._inline = None
+        elif self.using_processes:
+            self._stop_pool()
+        if workers > 1 and self._start_pool(workers):
+            self.using_processes = True
+        else:
+            self.workers = min(workers, 1) or 1
+            self._activate_inline()
+        self.restore_lanes(state)
+        self.reshards += 1
+
+    def __repr__(self) -> str:
+        g = self.ring.geometry
+        mode = (f"{self.workers} workers" if self.using_processes
+                else "inline")
+        return (
+            f"ShardedBatchRing(Ring-{g.dnodes} x {self.batch} lanes, "
+            f"{mode}, cycle={self.ring.cycles})"
+        )
+
+
+class _WordsStimulus(ShardStimulus):
+    """Pre-resolved per-cycle host words (parent-resolved mode)."""
+
+    def __init__(self, words: Dict[int, object]):
+        self.words = words
+
+    def lane_words(self, channel: int, cycle: int):
+        return self.words[channel]
+
+    def sliced(self, lo: int, hi: int) -> "_WordsStimulus":
+        return _WordsStimulus({
+            ch: _slice_words(value, lo, hi)
+            for ch, value in self.words.items()
+        })
+
+
+__all__ = [
+    "ShardedBatchRing",
+    "ShardStimulus",
+    "CycleStimulus",
+    "FnStimulus",
+    "StreamStimulus",
+    "shard_spans",
+]

@@ -48,6 +48,7 @@ class StreamChannel:
         self.idle_value = word.check(idle_value, "idle value")
         self.delivered = 0
         self.underruns = 0
+        self._dry_seen = False
         if values is not None:
             self.push(values)
 
@@ -59,14 +60,22 @@ class StreamChannel:
             self._queue.append(word.check(v, "stream word"))
 
     def current(self) -> int:
-        """The word presented on the port this cycle."""
+        """The word presented on the port this cycle.
+
+        The port is level-sensitive: however many agents read it within
+        one cycle (datapath, trace observer, metrics), a dry queue counts
+        at most one underrun until the next clock edge.
+        """
         if not self._queue:
-            self.underruns += 1
+            if not self._dry_seen:
+                self._dry_seen = True
+                self.underruns += 1
             return self.idle_value
         return self._queue[0]
 
     def advance(self) -> None:
         """Clock edge: consume the presented word."""
+        self._dry_seen = False
         if self._queue:
             self._queue.popleft()
             self.delivered += 1
@@ -119,6 +128,7 @@ class BatchStreamChannel:
         self._queues: List[Deque[int]] = [deque() for _ in range(batch)]
         self.delivered = [0] * batch
         self.underruns = [0] * batch
+        self._dry_seen = [False] * batch
 
     def push(self, values, lane: Optional[int] = None) -> None:
         """Queue words on one lane (or broadcast to all when None)."""
@@ -136,19 +146,26 @@ class BatchStreamChannel:
         self._queues[lane].extend(checked)
 
     def current(self) -> np.ndarray:
-        """The per-lane words presented on the port this cycle."""
+        """The per-lane words presented on the port this cycle.
+
+        Like the scalar port, repeated reads within one cycle count at
+        most one underrun per dry lane until the next clock edge.
+        """
         out = np.empty(self.batch, dtype=np.int64)
         for lane, queue in enumerate(self._queues):
             if queue:
                 out[lane] = queue[0]
             else:
-                self.underruns[lane] += 1
+                if not self._dry_seen[lane]:
+                    self._dry_seen[lane] = True
+                    self.underruns[lane] += 1
                 out[lane] = self.idle_value
         return out
 
     def advance(self) -> None:
         """Clock edge: every non-empty lane consumes its word."""
         for lane, queue in enumerate(self._queues):
+            self._dry_seen[lane] = False
             if queue:
                 queue.popleft()
                 self.delivered[lane] += 1
@@ -379,15 +396,72 @@ class DataController:
         """Sample every tap from the post-edge fabric state.
 
         Batch taps read the per-lane OUT values straight from the ring's
-        batch engine; scalar taps read the scalar OUT register.
+        lane engine (batch or shard); scalar taps read the scalar OUT
+        register.
         """
         if self.batch > 1:
-            engine = ring._ensure_batch()
+            engine = ring._lane_engine()
             for tap in self.taps:
                 tap.observe(engine.lane_outs(tap.layer, tap.position))
             return
         for tap in self.taps:
             tap.observe(ring.dnode(tap.layer, tap.position).out)
+
+    def shard_stimulus(self, base_cycle: int):
+        """Freeze the queued stream words into a picklable chunk stimulus.
+
+        The sharded backend runs whole chunks inside worker processes,
+        where live ``host_in`` callbacks cannot reach; a
+        :class:`~repro.core.shardpath.StreamStimulus` carries the queued
+        words instead (sliced per shard by the engine), anchored at the
+        fabric cycle the chunk starts on.  The live queues are left
+        untouched — call :meth:`absorb_shard_run` afterwards to account
+        for what the chunk consumed.
+        """
+        from repro.core.shardpath import StreamStimulus
+        channels = {}
+        idle = {}
+        for index, ch in self._channels.items():
+            idle[index] = ch.idle_value
+            if isinstance(ch, BatchStreamChannel):
+                channels[index] = ("lanes",
+                                   [list(queue) for queue in ch._queues])
+            else:
+                channels[index] = ("all", list(ch._queue))
+        return StreamStimulus(base_cycle, channels, idle)
+
+    def absorb_shard_run(self, executed: int, read_channels) -> None:
+        """Account for *executed* chunk cycles run off a frozen stimulus.
+
+        Every channel advances once per cycle (words past the queue end
+        are simply dry), reproducing exactly what *executed* calls to
+        :meth:`advance` would have delivered; channels in
+        *read_channels* — the ones the fabric configuration actually
+        routes — additionally count one underrun per dry cycle, matching
+        the scalar per-cycle accounting bit for bit.
+        """
+        if executed < 0:
+            raise HostError(f"executed must be >= 0, got {executed}")
+        read = set(read_channels)
+        for index, ch in self._channels.items():
+            routed = index in read
+            if isinstance(ch, BatchStreamChannel):
+                for lane, queue in enumerate(ch._queues):
+                    consumed = min(len(queue), executed)
+                    for _ in range(consumed):
+                        queue.popleft()
+                    ch.delivered[lane] += consumed
+                    if routed:
+                        ch.underruns[lane] += executed - consumed
+                    ch._dry_seen[lane] = False
+            else:
+                consumed = min(len(ch._queue), executed)
+                for _ in range(consumed):
+                    ch._queue.popleft()
+                ch.delivered += consumed
+                if routed:
+                    ch.underruns += executed - consumed
+                ch._dry_seen = False
 
     def capture_state(self) -> dict:
         """Checkpoint the host side: queued words, counters, tap samples.
@@ -429,10 +503,12 @@ class DataController:
                 ch._queues = [deque(lane) for lane in saved["lanes"]]
                 ch.delivered = list(saved["delivered"])
                 ch.underruns = list(saved["underruns"])
+                ch._dry_seen = [False] * ch.batch
             else:
                 ch._queue = deque(saved["queue"])
                 ch.delivered = saved["delivered"]
                 ch.underruns = saved["underruns"]
+                ch._dry_seen = False
         if len(state["taps"]) != len(self.taps):
             raise HostError(
                 f"checkpoint has {len(state['taps'])} taps, controller "

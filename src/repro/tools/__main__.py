@@ -153,13 +153,18 @@ def _run_with_injection(build, args, cycles: int) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     obj = ObjectCode.from_bytes(Path(args.object).read_bytes())
-    if args.backend == "batch" and load_system(obj).controller is not None:
-        print("error: --backend batch needs an uncontrolled program "
-              "(the configuration controller drives one scalar "
+    lane_backend = args.backend in ("batch", "shard")
+    if lane_backend and load_system(obj).controller is not None:
+        print(f"error: --backend {args.backend} needs an uncontrolled "
+              "program (the configuration controller drives one scalar "
               "fabric)", file=sys.stderr)
         return 1
-    if args.backend is None and args.batch_size != 1:
-        print("error: --batch-size requires --backend batch",
+    if not lane_backend and args.batch_size != 1:
+        print("error: --batch-size requires --backend batch or shard",
+              file=sys.stderr)
+        return 1
+    if args.shard_workers is not None and args.backend != "shard":
+        print("error: --shard-workers requires --backend shard",
               file=sys.stderr)
         return 1
 
@@ -174,7 +179,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.backend is not None:
             system.ring.set_backend(
                 args.backend,
-                args.batch_size if args.backend == "batch" else 1)
+                args.batch_size if lane_backend else 1,
+                shard_workers=args.shard_workers)
             # Rebuild the data controller so channels/taps match the
             # lane count (streams are broadcast to every lane).
             from repro.host.streams import DataController
@@ -214,7 +220,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             system.run(cycles)
     taps = list(zip(tap_specs, system.data.taps))
-    batch = system.ring.batch_size if system.ring.backend == "batch" else 1
+    batch = (system.ring.batch_size
+             if system.ring.backend in ("batch", "shard") else 1)
     if batch > 1:
         print(f"ran {system.cycles} cycles x {batch} lanes "
               f"({system.cycles * batch} lane-cycles)")
@@ -271,13 +278,21 @@ def main(argv=None) -> int:
                        help="run exactly N cycles instead of to HALT")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
     p_run.add_argument("--backend",
-                       choices=("interpreter", "fastpath", "batch"),
+                       choices=("interpreter", "fastpath", "batch",
+                                "shard"),
                        default=None,
                        help="execution engine (default: the ring's own; "
                             "'batch' advances --batch-size streams at "
-                            "once, streams broadcast to every lane)")
+                            "once, streams broadcast to every lane; "
+                            "'shard' splits those lanes across worker "
+                            "processes over shared memory)")
     p_run.add_argument("--batch-size", type=int, default=1, metavar="N",
-                       help="lane count for --backend batch")
+                       help="lane count for --backend batch/shard")
+    p_run.add_argument("--shard-workers", type=int, default=None,
+                       metavar="W",
+                       help="worker-process count for --backend shard "
+                            "(default: one per CPU core, capped at the "
+                            "lane count)")
     p_run.add_argument("--plan-cache", type=int, default=None, metavar="N",
                        help="retain up to N compiled plans keyed by "
                             "configuration fingerprint (0 disables; "

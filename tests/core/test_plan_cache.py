@@ -87,6 +87,35 @@ class TestPlanCacheUnit:
         assert cache.get("a") == 3
         assert cache.evictions == 0
 
+    def test_put_purges_pending_miss_record(self):
+        """Regression: a stored key must leave the missed-FIFO.  Before
+        the fix an evicted entry's fingerprint kept its old miss record,
+        so its *first* reappearance was treated as a second sighting and
+        promoted to an eager compile."""
+        cache = PlanCache(1)
+        assert cache.note_miss("a") is False
+        cache.put("a", "A")
+        cache.put("b", "B")  # evicts 'a'
+        assert cache.get("a") is None
+        # 'a' starts over: first miss after eviction must NOT promote.
+        assert cache.note_miss("a") is False
+        assert cache.note_miss("a") is True
+
+    def test_discard_purges_pending_miss_record(self):
+        """Regression: discard() dropped only the entry, leaving the miss
+        record to spuriously promote the next appearance."""
+        cache = PlanCache(4)
+        cache.note_miss("a")
+        cache.put("a", "A")
+        cache.discard("a")
+        assert cache.note_miss("a") is False
+        assert cache.note_miss("a") is True
+
+    def test_discard_of_never_stored_key_is_noop(self):
+        cache = PlanCache(4)
+        cache.discard("ghost")
+        assert cache.note_miss("ghost") is False
+
     def test_clear_preserves_counters(self):
         cache = PlanCache(2)
         cache.put("a", 1)
