@@ -41,6 +41,16 @@ class Metric:
     samples: Tuple[Tuple[Labels, float], ...]
 
 
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the text exposition format (version 0.0.4).
+
+    HELP lines escape backslash and newline (no quote escaping — the
+    text is not quoted).  Without this, a help string containing a
+    newline splits the line and corrupts the whole scrape.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _escape_label(value: str) -> str:
     return (value.replace("\\", "\\\\").replace("\"", "\\\"")
             .replace("\n", "\\n"))
@@ -91,7 +101,7 @@ class MetricsSnapshot:
         lines: List[str] = []
         for metric in self.metrics:
             full = PREFIX + metric.name
-            lines.append(f"# HELP {full} {metric.help}")
+            lines.append(f"# HELP {full} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {full} {metric.kind}")
             for labels, value in metric.samples:
                 if labels:

@@ -865,6 +865,23 @@ class Ring:
             self._config_dirty = False
         return plan
 
+    def adopt_cached_plan(self) -> bool:
+        """Re-adopt a compiled plan for the current configuration now.
+
+        Public hook for restore paths (checkpoint rollback, farm worker
+        job switches): after the configuration settles, one fingerprint
+        lookup re-activates a cached plan immediately instead of waiting
+        for the first ``step()`` to do it lazily.  Returns ``True`` when
+        a compiled plan is active afterwards.  A scalar-fastpath-less
+        backend (vector batch, shard) never adopts scalar plans, so this
+        is a no-op there.
+        """
+        if not self.fastpath_enabled:
+            return False
+        if self._plan is not None:
+            return True
+        return self._adopt_cached_plan() is not None
+
     def _compile_plan_timed(self):
         """Compile a fast-path plan for the current configuration."""
         profile = self._profile

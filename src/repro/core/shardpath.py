@@ -59,6 +59,7 @@ exact text for the earliest-aborting shard.
 from __future__ import annotations
 
 import os
+import weakref
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -378,6 +379,46 @@ def _apply_scalars(ring, counters: dict, stats: Optional[dict]) -> None:
 # ----------------------------------------------------------------------
 
 
+def _finalize_pool(conns: list, procs: list, blocks: list) -> None:
+    """Last-resort teardown used by the ``weakref.finalize`` guard.
+
+    Runs when a ``ShardedBatchRing`` is garbage-collected (or at
+    interpreter exit) without a prior :meth:`~ShardedBatchRing.close` —
+    exactly the path a crashing parent (e.g. a restarting farm worker)
+    takes.  Must not assume any protocol state: connections are slammed
+    shut, workers terminated, and every shared block closed *and*
+    unlinked so nothing leaks in ``/dev/shm``.  The lists are the
+    engine's own (mutated in place, never reassigned), so a block that a
+    graceful ``close()`` already released is simply no longer here —
+    finalizing twice, or finalizing after close, is a no-op rather than
+    a double-unlink under the spawn resource tracker.
+    """
+    while conns:
+        conn = conns.pop()
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+    while procs:
+        proc = procs.pop()
+        try:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=1)
+        except Exception:  # pragma: no cover - best effort
+            pass
+    while blocks:
+        block = blocks.pop()
+        try:
+            block.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+        try:
+            block.unlink()
+        except Exception:  # pragma: no cover - already unlinked
+            pass
+
+
 def shard_spans(batch: int, workers: int) -> List[Tuple[int, int]]:
     """Contiguous ``[lo, hi)`` lane spans, remainder spread evenly."""
     base, extra = divmod(batch, workers)
@@ -439,6 +480,13 @@ class ShardedBatchRing:
         self._config_dirty = False
         self._detached = False
         self._closed = False
+        # Crash-safety guard: if this engine is dropped without close()
+        # (parent died mid-run, worker restart), the finalizer still
+        # releases pipes, processes and /dev/shm blocks.  It shares the
+        # *same list objects* the engine mutates in place, so whatever a
+        # graceful teardown already released is invisible to it.
+        self._finalizer = weakref.finalize(
+            self, _finalize_pool, self._conns, self._procs, self._blocks)
         ring.add_invalidation_listener(self._on_config_change)
         if self.workers > 1 and self._start_pool(self.workers):
             self.using_processes = True
@@ -475,17 +523,24 @@ class ShardedBatchRing:
         return True
 
     def _release_blocks(self) -> None:
+        """Close and unlink every shared block (idempotent).
+
+        Blocks are popped as they are released, so a second call — or an
+        overlapping run of the finalizer guard — finds an empty list and
+        cannot double-unlink a segment the resource tracker already
+        reclaimed.
+        """
         self._arrays = {}
-        for block in self._blocks:
+        while self._blocks:
+            block = self._blocks.pop()
             try:
                 block.close()
             except Exception:  # pragma: no cover - best effort
                 pass
             try:
                 block.unlink()
-            except Exception:  # pragma: no cover - best effort
+            except Exception:  # pragma: no cover - already unlinked
                 pass
-        self._blocks = []
 
     def _bootstrap_snapshot(self):
         """Scalar snapshot of the parent ring for worker bringup.
@@ -560,8 +615,10 @@ class ShardedBatchRing:
                     proc.terminate()
                 proc.join(timeout=5)
             return False
-        self._procs = procs
-        self._conns = conns
+        # In-place so the weakref.finalize guard (which holds these very
+        # list objects) always sees the live pool, never a stale copy.
+        self._procs[:] = procs
+        self._conns[:] = conns
         self._spans = spans
         self.workers = workers
         self._config_dirty = False
@@ -601,8 +658,8 @@ class ShardedBatchRing:
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=5)
-        self._procs = []
-        self._conns = []
+        self._procs[:] = []
+        self._conns[:] = []
         self._spans = []
 
     def _activate_inline(self) -> None:

@@ -17,10 +17,13 @@ Engine interaction contract:
   :meth:`~repro.core.ring.Ring._invalidate_fastpath` — the active
   compiled plan and macro kernel are dropped and every invalidation
   listener fires, so no engine can keep executing a plan compiled for
-  the pre-restore configuration.  (Plans retained in the fingerprint
-  cache stay valid: they are keyed by configuration, close over the
-  ring's stable state containers, and are re-adopted in one lookup when
-  the restored configuration matches.)
+  the pre-restore configuration.  Plans retained in the fingerprint
+  cache stay valid (they are keyed by configuration and close over the
+  ring's stable state containers), and restore immediately re-adopts
+  the cached plan for the restored fingerprint via
+  :meth:`~repro.core.ring.Ring.adopt_cached_plan` — a
+  restore-to-known-config pays one cache lookup, zero recompiles and
+  zero interpreted warm-up cycles.
 * A ring running the batch backend captures the full per-lane state
   (:meth:`~repro.core.batchpath.BatchRing.capture_lanes`); restoring
   onto a batch ring of the same lane count rebuilds every lane, not
@@ -172,6 +175,11 @@ def restore(ring: Ring, snapshot: RingSnapshot) -> None:
     # macro kernel are dropped *after* the last mutation and every
     # listener observes the completed restore.
     ring._invalidate_fastpath()
+    # Restore-to-known-config must not pay a recompile or an interpreted
+    # warm-up cycle: the restored configuration is final at this point,
+    # so re-adopt a cached plan eagerly in one fingerprint lookup.  A
+    # miss leaves the lazy step()-time policy in charge, unchanged.
+    ring.adopt_cached_plan()
 
 
 def state_digest(ring: Ring) -> tuple:

@@ -1,0 +1,25 @@
+"""RingFarm: multi-tenant serving over the Systolic Ring engines.
+
+The serving-at-scale layer (ROADMAP item 1): an asyncio front door
+(:class:`~repro.farm.farm.RingFarm`) routes compiled-plan jobs
+(:class:`~repro.farm.job.FarmJob`) to a pool of ring-owning worker
+processes (:mod:`repro.farm.worker`), keyed by configuration
+fingerprint so same-fabric tenants share warm plan caches; a
+stdlib-only TCP/JSON-lines server (:mod:`repro.farm.server`) is the
+network face.  Backpressure is explicit (:class:`FarmRejected` with
+retry-after), queues are bounded, and live job migration between
+workers rides the checkpoint machinery bit-identically.
+"""
+
+from repro.farm.farm import FarmRejected, RingFarm
+from repro.farm.job import FarmJob, FarmResult
+from repro.farm.worker import FarmWorker, JobExecutor
+
+__all__ = [
+    "FarmJob",
+    "FarmRejected",
+    "FarmResult",
+    "FarmWorker",
+    "JobExecutor",
+    "RingFarm",
+]

@@ -105,6 +105,22 @@ class RingSystem:
         for _ in range(cycles):
             self.step()
 
+    def checkpoint(self):
+        """Capture a whole-system checkpoint (fabric + host streams).
+
+        Returns a :class:`~repro.robustness.checkpoint.SystemCheckpoint`
+        restorable onto this system — or any same-geometry system with
+        the same tap topology, which is how the serving layer migrates a
+        running job between workers.
+        """
+        from repro.robustness.checkpoint import capture_system
+        return capture_system(self)
+
+    def restore_checkpoint(self, checkpoint) -> None:
+        """Restore a :meth:`checkpoint` (taps must already exist)."""
+        from repro.robustness.checkpoint import restore_system
+        restore_system(self, checkpoint)
+
     def set_plan_cache(self, capacity: int) -> None:
         """Resize the ring's compiled-plan cache (0 disables caching)."""
         self.ring.set_plan_cache(capacity)

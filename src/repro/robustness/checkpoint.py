@@ -139,6 +139,49 @@ def rollback_replay(ring: Ring, snapshot: RingSnapshot, target_cycle: int,
     return state_digest(ring)
 
 
+# -- whole-system checkpoints -----------------------------------------
+
+
+@dataclass
+class SystemCheckpoint:
+    """A consistent checkpoint of a complete RingSystem.
+
+    Fabric state via :class:`~repro.core.snapshot.RingSnapshot` plus the
+    host side (stream queues, delivery counters, tap collections) via
+    :meth:`~repro.host.streams.DataController.capture_state`, anchored at
+    the system cycle counter.  This is the unit the serving layer moves
+    between workers: pausing a job on one worker and resuming it on
+    another is exactly capture here / restore there.
+    """
+
+    cycles: int
+    snapshot: RingSnapshot
+    host: dict
+
+
+def capture_system(system) -> SystemCheckpoint:
+    """Checkpoint *system* (a :class:`~repro.host.system.RingSystem`)."""
+    return SystemCheckpoint(
+        cycles=system.cycles,
+        snapshot=capture(system.ring),
+        host=system.data.capture_state(),
+    )
+
+
+def restore_system(system, checkpoint: SystemCheckpoint) -> None:
+    """Restore *system* to *checkpoint*.
+
+    The data controller must already have the same tap topology the
+    checkpoint was captured with (taps are identity, not data — create
+    them first, then restore).  The ring restore re-adopts a cached
+    compiled plan when the restored fingerprint is known, so resuming a
+    migrated job pays zero interpreted cycles on a warm worker.
+    """
+    restore(system.ring, checkpoint.snapshot)
+    system.data.restore_state(checkpoint.host)
+    system.cycles = checkpoint.cycles
+
+
 # -- graceful degradation ---------------------------------------------
 
 
@@ -247,11 +290,14 @@ def degradation_report(baseline: ThroughputReport,
 __all__ = [
     "CheckpointManager",
     "Driver",
+    "SystemCheckpoint",
     "ThroughputReport",
+    "capture_system",
     "default_driver",
     "degradation_report",
     "disable_dnode",
     "remap_around",
+    "restore_system",
     "rollback_replay",
     "throughput",
 ]

@@ -2,9 +2,14 @@
 
 Subcommands:
 
-* ``asm``  — assemble two-level source to binary object code;
-* ``dis``  — disassemble object code to a readable listing;
-* ``run``  — load object code, stream data in, print tap outputs.
+* ``asm``   — assemble two-level source to binary object code;
+* ``dis``   — disassemble object code to a readable listing;
+* ``run``   — load object code, stream data in, print tap outputs;
+* ``serve`` — run the RingFarm TCP serving front door.
+
+Exit codes: 0 success, 1 usage/load errors and failed fault recovery,
+2 a simulation abort (strict-FIFO underflow) — the abort cycle and
+message go to stderr so CI and load generators can detect failed runs.
 """
 
 from __future__ import annotations
@@ -17,7 +22,13 @@ from repro import word
 from repro.asm import assemble, load_system
 from repro.asm.disasm import disassemble
 from repro.asm.objcode import ObjectCode
-from repro.errors import ReproError
+from repro.errors import ReproError, SimulationError
+
+#: Exit code for general errors (bad flags, unreadable files, a fault
+#: campaign that failed to recover bit-identically).
+EXIT_FAILURE = 1
+#: Exit code for a simulation abort mid-run (strict-FIFO underflow).
+EXIT_ABORT = 2
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -175,7 +186,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     def build():
         """One fully wired system; injection runs build golden + faulted
         twins, so every run-affecting option must be applied here."""
-        system = load_system(obj)
+        system = load_system(obj, strict_fifos=args.strict_fifos)
         if args.backend is not None:
             system.ring.set_backend(
                 args.backend,
@@ -199,26 +210,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     cycles = args.cycles if args.cycles is not None else total + 16
     status = 0
-    if args.inject is not None:
-        if args.checkpoint_every is None:
-            args.checkpoint_every = max(1, cycles // 8)
-        if args.checkpoint_every < 1:
-            print("error: --checkpoint-every must be >= 1",
-                  file=sys.stderr)
-            return 1
-        system = build()
-        if system.controller is not None:
-            print("error: --inject supports uncontrolled programs only "
-                  "(controller state is not checkpointed)",
-                  file=sys.stderr)
-            return 1
-        system, status = _run_with_injection(build, args, cycles)
-    else:
-        system = build()
-        if system.controller is not None and args.cycles is None:
-            system.run_until_halt(max_cycles=args.max_cycles)
+    try:
+        if args.inject is not None:
+            if args.checkpoint_every is None:
+                args.checkpoint_every = max(1, cycles // 8)
+            if args.checkpoint_every < 1:
+                print("error: --checkpoint-every must be >= 1",
+                      file=sys.stderr)
+                return EXIT_FAILURE
+            system = build()
+            if system.controller is not None:
+                print("error: --inject supports uncontrolled programs "
+                      "only (controller state is not checkpointed)",
+                      file=sys.stderr)
+                return EXIT_FAILURE
+            system, status = _run_with_injection(build, args, cycles)
         else:
-            system.run(cycles)
+            system = build()
+            if system.controller is not None and args.cycles is None:
+                system.run_until_halt(max_cycles=args.max_cycles)
+            else:
+                system.run(cycles)
+    except SimulationError as exc:
+        # A strict-FIFO underflow (or any other mid-run abort) must not
+        # exit 0: CI and load generators key off the exit code.  The
+        # abort message carries the offending Dnode/FIFO and cycle.
+        print(f"abort: {exc}", file=sys.stderr)
+        return EXIT_ABORT
     taps = list(zip(tap_specs, system.data.taps))
     batch = (system.ring.batch_size
              if system.ring.backend in ("batch", "shard") else 1)
@@ -242,6 +260,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         Path(args.metrics).write_text(text)
         print(f"wrote metrics to {args.metrics} ({args.metrics_format})")
     return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.farm import RingFarm
+    from repro.farm.server import FarmServer
+
+    async def _serve() -> None:
+        farm = RingFarm(workers=args.workers,
+                        queue_depth=args.queue_depth,
+                        tenant_quota=args.tenant_quota,
+                        plan_cache=args.plan_cache,
+                        use_processes=not args.inline)
+        server = FarmServer(farm, host=args.host, port=args.port)
+        async with farm:
+            await server.start()
+            print(f"ringfarm serving on {server.host}:{server.port} "
+                  f"({args.workers} workers, "
+                  f"{'inline' if args.inline else 'processes'})")
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("ringfarm stopped")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -300,6 +348,10 @@ def main(argv=None) -> int:
     p_run.add_argument("--macro-step", type=int, default=None, metavar="K",
                        help="fuse steady-state runs of >= K cycles into "
                             "generated macro kernels (0/1 disables)")
+    p_run.add_argument("--strict-fifos", action="store_true",
+                       help="abort the run (exit code 2, cycle + message "
+                            "on stderr) on any FIFO underflow instead of "
+                            "reading zero")
     p_run.add_argument("--inject", choices=_INJECT_SPECS, default=None,
                        help="inject one seeded fault and recover by "
                             "checkpoint rollback-replay, verified "
@@ -321,12 +373,32 @@ def main(argv=None) -> int:
                        help="metrics format: JSON or Prometheus text")
     p_run.set_defaults(func=_cmd_run)
 
+    p_serve = sub.add_parser(
+        "serve", help="serve compiled-plan jobs over TCP (RingFarm)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8372)
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="worker-process pool size")
+    p_serve.add_argument("--queue-depth", type=int, default=16,
+                         metavar="N",
+                         help="bounded per-worker queue depth (full "
+                              "queues reject with retry-after)")
+    p_serve.add_argument("--tenant-quota", type=int, default=8,
+                         metavar="N",
+                         help="max queued + running jobs per tenant")
+    p_serve.add_argument("--plan-cache", type=int, default=8, metavar="N",
+                         help="per-worker compiled-plan cache capacity")
+    p_serve.add_argument("--inline", action="store_true",
+                         help="run workers in-process (no worker "
+                              "processes; for tests and tiny hosts)")
+    p_serve.set_defaults(func=_cmd_serve)
+
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -149,6 +149,31 @@ class TestExportFormats:
                 if l.startswith("repro_weird{")][0]
         assert line == 'repro_weird{name="a\\"b\\\\c"} 1'
 
+    def test_prometheus_help_escaping(self):
+        """Regression: HELP text with a newline or backslash used to be
+        emitted raw, splitting the line and corrupting the scrape."""
+        from repro.analysis.metrics import Metric, MetricsSnapshot
+        snap = MetricsSnapshot([Metric(
+            "weird", "gauge", "first\nsecond \\ third", (((), 1.0),))])
+        text = snap.to_prometheus()
+        help_line = [l for l in text.splitlines()
+                     if l.startswith("# HELP")][0]
+        assert help_line == "# HELP repro_weird first\\nsecond \\\\ third"
+        # One HELP, one TYPE, one sample — no orphan continuation line.
+        assert len(text.splitlines()) == 3
+
+    def test_prometheus_hostile_label_value(self):
+        """Regression: a label value holding a newline, quote and
+        backslash (e.g. a farm tenant name) must stay on one line."""
+        from repro.analysis.metrics import Metric, MetricsSnapshot
+        snap = MetricsSnapshot([Metric(
+            "weird", "gauge", "escape test",
+            (((("tenant", 'a\nb"c\\d'),), 2.0),))])
+        lines = snap.to_prometheus().splitlines()
+        sample = [l for l in lines if l.startswith("repro_weird{")][0]
+        assert sample == 'repro_weird{tenant="a\\nb\\"c\\\\d"} 2'
+        assert len(lines) == 3
+
     def test_floats_keep_precision_ints_render_bare(self):
         ring = busy_ring()
         ring.run(3)

@@ -16,8 +16,11 @@ Three layers of coverage:
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.analysis.metrics import collect_metrics
 from repro.core.dnode import DnodeMode
 from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
 from repro.core.plancache import PlanCache
@@ -301,6 +304,39 @@ class TestRingCacheIntegration:
         ring.reset()
         ring.run(6)
         assert ring.plan_compiles == compiles, "no recompile after reset"
+
+
+class TestRestoreReadoption:
+    """Satellite: restoring a checkpoint of a known configuration costs
+    exactly one cache lookup — no recompile, no interpreted cycles."""
+
+    def test_restore_to_known_config_is_one_cache_hit(self):
+        from repro.core.snapshot import capture, restore
+        ring = make_ring(8)
+        _configure(ring, "a")
+        ring.run(6)  # compiles once and caches the plan
+        snap = capture(ring)
+        ring.run(4)
+        hits = ring.plan_cache.hits
+        compiles = ring.plan_compiles
+        with ring.profile() as prof:
+            restore(ring, snap)  # eager re-adoption inside restore()
+            ring.run(5)
+        assert ring.plan_cache.hits == hits + 1
+        assert ring.plan_compiles == compiles
+        assert prof.interpreted_cycles == 0
+        assert prof.plan_compiles == 0
+        data = json.loads(collect_metrics(ring).to_json())
+        assert data["plan_cache_hits_total"] == hits + 1
+
+    def test_snapshot_counters_surface(self):
+        cache = PlanCache(3)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        assert cache.snapshot_counters() == {
+            "capacity": 3, "size": 1, "hits": 1, "misses": 1,
+            "evictions": 0}
 
 
 class TestBatchSizeOneRouting:

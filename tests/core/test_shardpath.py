@@ -386,6 +386,79 @@ class TestCheckpointAndMigration:
         engine.close()
 
 
+class TestCrashSafeTeardown:
+    """Satellite: no /dev/shm leaks and no double-unlink, ever."""
+
+    def _attachable(self, name: str) -> bool:
+        from multiprocessing import shared_memory
+        try:
+            block = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        block.close()
+        return True
+
+    def test_close_releases_blocks_and_stays_idempotent(self):
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=2)
+        engine = ring.shard
+        ring.run(5, host_in=_host_zero)
+        names = [block.name for block in engine._blocks]
+        assert names and all(self._attachable(n) for n in names)
+        engine.close()
+        assert engine._blocks == []
+        assert not any(self._attachable(n) for n in names)
+        # Second close and a direct second release: nothing to double-
+        # unlink, no resource-tracker noise.
+        engine.close()
+        engine._release_blocks()
+
+    def test_finalizer_guard_tears_down_live_pool(self):
+        """The crash path: drop the engine without close() and the
+        weakref.finalize guard must reap pipes, processes and blocks."""
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=2)
+        engine = ring.shard
+        ring.run(5, host_in=_host_zero)
+        procs = list(engine._procs)
+        names = [block.name for block in engine._blocks]
+        assert procs and all(p.is_alive() for p in procs)
+        engine._finalizer()  # what GC / interpreter exit would run
+        assert engine._procs == [] and engine._conns == []
+        assert engine._blocks == []
+        for proc in procs:
+            proc.join(timeout=5)
+            assert not proc.is_alive()
+        assert not any(self._attachable(n) for n in names)
+        # A late graceful close after the guard already ran is a no-op.
+        engine.close()
+
+    def test_close_then_finalizer_is_noop(self):
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=2)
+        engine = ring.shard
+        engine.close()
+        engine._finalizer()  # lists already drained; must not raise
+
+    def test_inline_engine_finalizer_harmless(self):
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=1)
+        engine = ring.shard
+        assert not engine.using_processes
+        engine._finalizer()
+        engine.close()
+
+    def test_garbage_collection_reaps_unclosed_engine(self):
+        import gc
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=2)
+        engine = ring.shard
+        ring.run(3, host_in=_host_zero)
+        procs = list(engine._procs)
+        names = [block.name for block in engine._blocks]
+        del ring, engine
+        gc.collect()
+        for proc in procs:
+            proc.join(timeout=5)
+            assert not proc.is_alive()
+        assert not any(self._attachable(n) for n in names)
+
+
 class TestRingIntegration:
     def test_shard_property_requires_backend(self):
         ring = _fir_ring()

@@ -183,7 +183,10 @@ class TestObservabilityRoundTrip:
 
     def test_restore_drops_compiled_plan(self):
         """The restore-invalidation contract: a restored ring must not
-        keep executing a plan compiled for its pre-restore state."""
+        keep executing a plan compiled for its pre-restore state.  The
+        active plan is dropped (invalidation listeners fire) and may only
+        come back through a fingerprint-cache hit for the *restored*
+        configuration."""
         source = busy_ring()
         snapshot = capture(source)
         target = busy_ring()
@@ -191,8 +194,27 @@ class TestObservabilityRoundTrip:
         assert target._plan is not None
         invalidations = target.plan_invalidations
         restore(target, snapshot)
-        assert target._plan is None
         assert target.plan_invalidations == invalidations + 1
+        # busy_ring() twins share a configuration, so the target's cache
+        # already holds the plan for the restored fingerprint and the
+        # restore re-adopts it eagerly — without a recompile.
+        cached = target.plan_cache.get(
+            ("plan", target.config_fingerprint()))
+        assert target._plan is cached is not None
+
+    def test_restore_to_unknown_config_leaves_no_plan(self):
+        """With no cached plan for the restored fingerprint, restore must
+        not conjure one up (no hidden recompile)."""
+        source = busy_ring()
+        snapshot = capture(source)
+        target = make_ring(8)
+        target.config.write_microword(3, 1, MicroWord(
+            Opcode.ADD, Source.SELF, Source.IMM, Dest.OUT, imm=9))
+        target.run(4, host_in=lambda ch: 1)
+        compiles = target.plan_compiles
+        restore(target, snapshot)
+        assert target._plan is None
+        assert target.plan_compiles == compiles
 
     def test_capture_has_no_side_effects(self):
         """capture() must not materialize FIFO queues: digests before

@@ -1,0 +1,69 @@
+"""Differential property: a farm job is bit-identical to direct execution.
+
+The serving layer's correctness contract in one sentence: submitting a
+job to a :class:`~repro.farm.farm.RingFarm` — any worker count, with one
+live migration mid-run — produces exactly the tap streams and the full
+:func:`~repro.core.snapshot.state_digest` of running the same plane,
+streams and FIFO preloads on a fresh ring directly.  Hypothesis draws
+the fabric configuration from the same replayable spec strategy the
+backend differential suite uses (``tests.core.test_fuzz.ring_specs``),
+so the farm path is fuzzed over the same configuration space as the
+execution engines themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ring import Ring, RingGeometry
+from repro.farm import FarmJob, RingFarm
+
+from tests.core.test_fuzz import apply_spec, ring_specs
+from tests.farm.test_farm import direct_run
+
+
+def spec_job(spec: dict, stream, cycles: int) -> FarmJob:
+    """Turn a drawn fabric spec into one farm job (plane + stimuli)."""
+    geometry = RingGeometry(layers=spec["layers"], width=spec["width"])
+    builder = Ring(geometry, plan_cache=0)
+    apply_spec(builder, spec)  # FIFO loads land in the throwaway ring
+    fifos = [(layer, pos, channel, list(words))
+             for layer, pos, _mw, _local, _routes, loads in spec["cells"]
+             for channel, words in sorted(loads.items()) if words]
+    return FarmJob(
+        tenant="prop",
+        layers=spec["layers"],
+        width=spec["width"],
+        plane=builder.config.capture_plane(),
+        cycles=cycles,
+        streams={0: list(stream)},
+        taps=[(0, 0, None),
+              (spec["layers"] - 1, spec["width"] - 1, None)],
+        fifos=fifos,
+    )
+
+
+class TestFarmDifferential:
+    @given(spec=ring_specs(),
+           stream=st.lists(st.integers(0, 0xFFFF), max_size=12),
+           cycles=st.integers(min_value=4, max_value=24),
+           workers=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_farm_with_migration_matches_direct(self, spec, stream,
+                                                cycles, workers):
+        job = spec_job(spec, stream, cycles)
+        want_taps, want_digest = direct_run(job)
+
+        async def go():
+            async with RingFarm(workers=workers,
+                                use_processes=False) as farm:
+                result = await farm.submit(job, migrate_at=cycles // 2)
+                return farm.jobs_migrated, result
+
+        migrated, result = asyncio.run(go())
+        assert migrated == 1 and result.migrated
+        assert result.taps == want_taps
+        assert result.digest == want_digest
+        assert result.cycles_run == cycles

@@ -215,6 +215,67 @@ class TestRunBatchBackend:
         assert "--backend batch" in capsys.readouterr().err
 
 
+SRC_FIFO = """
+.ring boot
+dnode 0.0 global
+    mov out, fifo1 [pop1]
+"""
+
+
+class TestRunExitCodes:
+    """Satellite: aborted runs must not exit 0 (CI keys off the code)."""
+
+    @pytest.fixture
+    def fifo_obj(self, tmp_path, capsys):
+        path = tmp_path / "fifo.asm"
+        path.write_text(SRC_FIFO)
+        main(["asm", str(path)])
+        capsys.readouterr()
+        return path.with_suffix(".obj")
+
+    def test_strict_fifo_abort_exits_2_with_cycle_on_stderr(
+            self, fifo_obj, capsys):
+        code = main(["run", str(fifo_obj), "--strict-fifos",
+                     "--cycles", "4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("abort: ")
+        assert "FIFO1" in err and "cycle" in err
+
+    def test_underflow_without_strict_still_exits_0(self, fifo_obj,
+                                                    capsys):
+        assert main(["run", str(fifo_obj), "--cycles", "4"]) == 0
+        assert "abort" not in capsys.readouterr().err
+
+    def test_inject_recovery_success_exits_0(self, ring_obj, capsys):
+        code = main(["run", str(ring_obj), "--cycles", "16",
+                     "--inject", "seu", "--checkpoint-every", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected:" in out
+        assert "RECOVERY FAILED" not in out
+
+    def test_inject_recovery_failure_exits_1(self, ring_obj, capsys,
+                                             monkeypatch):
+        # A digest function that never repeats makes every checkpoint
+        # comparison fail, so detection fires and replay cannot converge.
+        import itertools
+        import repro.core.snapshot as snapshot
+        counter = itertools.count()
+        monkeypatch.setattr(snapshot, "state_digest",
+                            lambda ring: (next(counter),))
+        code = main(["run", str(ring_obj), "--cycles", "16",
+                     "--inject", "seu", "--checkpoint-every", "4"])
+        assert code == 1
+        assert "RECOVERY FAILED" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestReportCommand:
     def test_generates_full_report(self, tmp_path, capsys):
         out = tmp_path / "REPORT.md"
