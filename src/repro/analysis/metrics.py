@@ -179,6 +179,17 @@ class MetricsRegistry:
             ("macro_step_cycles_total", "counter",
              "Cycles executed inside fused macro-step kernels.",
              getattr(ring, "macro_cycles", 0)),
+            ("native_cycles_total", "counter",
+             "Cycles executed inside time-vectorized native kernels.",
+             getattr(ring, "native_cycles", 0)),
+            ("native_plan_compiles_total", "counter",
+             "Native plans compiled (cache hits re-adopt for free).",
+             getattr(ring, "native_compiles", 0)),
+            ("native_fallback_cycles_total", "counter",
+             "Cycles a native-backend ring handed down the fall-back "
+             "ladder (ineligible config, remainder, unsafe FIFO "
+             "window).",
+             getattr(ring, "native_fallback_cycles", 0)),
             ("ring_config_writes_total", "counter",
              "Configuration words written through ConfigMemory.",
              ring.config.writes),

@@ -62,6 +62,7 @@ from repro.core.dnode import Dnode, DnodeInputs, DnodeMode
 from repro.core.fastpath import compile_plan
 from repro.core.isa import FEEDBACK_DEPTH
 from repro.core.macropath import compile_macro
+from repro.core.nativepath import compile_native
 from repro.core.plancache import DEFAULT_CAPACITY, PlanCache
 from repro.core.switch import PortKind, PortSource, Switch
 from repro.errors import ConfigurationError, SimulationError
@@ -69,6 +70,11 @@ from repro.errors import ConfigurationError, SimulationError
 #: Sentinel cached on ``Ring._macro`` when the current configuration is
 #: not eligible for macro-step fusion (period too large to unroll).
 _MACRO_INELIGIBLE = object()
+
+#: Sentinel cached on ``Ring._native`` when the current configuration is
+#: not eligible for time-vectorized execution (see
+#: :func:`repro.core.nativepath.compile_native`).
+_NATIVE_INELIGIBLE = object()
 
 HostReader = Callable[[int], int]
 
@@ -228,11 +234,33 @@ class RingGeometry:
 class Ring:
     """A complete operative layer: Dnodes, switches, FIFOs, clock engine."""
 
+    #: The single source of truth for execution engines: every selector
+    #: (``Ring(backend=)``, :meth:`set_backend`, the CLI ``--backend``
+    #: choices, the docs engine table) derives from this registry, so
+    #: adding an engine is one entry here.
+    BACKEND_REGISTRY = {
+        "interpreter": "reference cycle-by-cycle interpreter",
+        "fastpath": "pre-decoded per-cycle closure plans",
+        "native": "time-vectorized NumPy macro kernels "
+                  "(optional Numba jit), falling back to "
+                  "macro-step/fastpath",
+        "batch": "lane-vectorized NumPy engine over batch_size streams",
+        "shard": "batch lanes sharded across worker processes",
+    }
+
     #: Valid values of the ``backend`` selector.
-    BACKENDS = ("interpreter", "fastpath", "batch", "shard")
+    BACKENDS = tuple(BACKEND_REGISTRY)
 
     #: Backends whose state carries a lane axis of length ``batch_size``.
     LANE_BACKENDS = ("batch", "shard")
+
+    @classmethod
+    def _check_backend(cls, backend: str) -> None:
+        if backend not in cls.BACKEND_REGISTRY:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{cls.BACKENDS}"
+            )
 
     def __init__(self, geometry: RingGeometry,
                  strict_fifos: bool = False,
@@ -246,11 +274,7 @@ class Ring:
         self.strict_fifos = strict_fifos
         if backend is None:
             backend = "fastpath" if fastpath else "interpreter"
-        if backend not in self.BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; expected one of "
-                f"{self.BACKENDS}"
-            )
+        self._check_backend(backend)
         if batch_size < 1:
             raise ConfigurationError(
                 f"batch size must be >= 1, got {batch_size}"
@@ -283,8 +307,10 @@ class Ring:
         # trivially the scalar state itself.  The vector engine is only
         # engaged at B>1 or once `ring.batch` has been handed out.  The
         # shard backend always engages its engine: worker-pool placement
-        # is the point, even at B=1.
-        self.fastpath_enabled = (backend == "fastpath"
+        # is the point, even at B=1.  The native tier sits on top of the
+        # fast path (its per-cycle remainder and fall-back ladder), so it
+        # enables the scalar plan machinery too.
+        self.fastpath_enabled = (backend in ("fastpath", "native")
                                  or (backend == "batch" and batch_size == 1))
         #: Configuration-fingerprinted LRU cache of compiled plans (and
         #: macro kernels).  Capacity 0 disables caching entirely.
@@ -297,6 +323,18 @@ class Ring:
         # Active macro kernel for the current configuration + entry phase
         # (None = not compiled, _MACRO_INELIGIBLE = period too large).
         self._macro = None
+        #: Native-tier lifetime counters: cycles executed by
+        #: time-vectorized kernels, plans compiled, and cycles a
+        #: ``backend="native"`` ring had to hand to the fall-back ladder
+        #: (ineligible configuration, sub-period remainders, unsafe FIFO
+        #: windows).  Host-side accounting like ``macro_cycles`` —
+        #: preserved across :meth:`reset` and snapshot restore.
+        self.native_cycles = 0
+        self.native_compiles = 0
+        self.native_fallback_cycles = 0
+        # Active native plan for the current configuration + entry phase
+        # (None = not compiled, _NATIVE_INELIGIBLE = cannot vectorize).
+        self._native = None
         self._dnodes: List[List[Dnode]] = [
             [Dnode(layer, pos) for pos in range(geometry.width)]
             for layer in range(geometry.layers)
@@ -422,20 +460,17 @@ class Ring:
     def set_backend(self, backend: str,
                     batch_size: Optional[int] = None,
                     shard_workers: Optional[int] = None) -> None:
-        """Switch execution engine
-        ("interpreter" | "fastpath" | "batch" | "shard").
+        """Switch execution engine (any :attr:`BACKEND_REGISTRY` key).
 
         Safe at any point between cycles: the scalar state always
         reflects the last committed cycle (the lane engines write lane
         0 back after every run), so the new engine picks up exactly
         where the old one stopped.  Entering batch or shard mode
-        broadcasts that state across *batch_size* lanes.
+        broadcasts that state across *batch_size* lanes; ``"native"``
+        keeps the scalar state and compiles time-vectorized kernels for
+        eligible steady-state spans.
         """
-        if backend not in self.BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; expected one of "
-                f"{self.BACKENDS}"
-            )
+        self._check_backend(backend)
         if batch_size is None:
             batch_size = (self.batch_size
                           if backend in self.LANE_BACKENDS else 1)
@@ -474,10 +509,11 @@ class Ring:
                 self._shard_engine.set_workers(shard_workers)
         self.backend = backend
         self.batch_size = batch_size
-        self.fastpath_enabled = (backend == "fastpath"
+        self.fastpath_enabled = (backend in ("fastpath", "native")
                                  or (backend == "batch" and batch_size == 1))
         self._plan = None
         self._macro = None
+        self._native = None
         self._config_dirty = True
 
     def set_plan_cache(self, capacity: int) -> None:
@@ -821,6 +857,7 @@ class Ring:
             self._plan = None
             self.plan_invalidations += 1
         self._macro = None
+        self._native = None
         self._config_dirty = True
         for listener in self._invalidation_listeners:
             listener()
@@ -940,16 +977,68 @@ class Ring:
             cache.put(key, macro)
         return macro
 
+    def _ensure_native(self):
+        """The native plan for the current configuration + entry phase.
+
+        Returns None when time-vectorization is unavailable (ineligible
+        configuration).  Plans are cached in :attr:`plan_cache` keyed by
+        fingerprint *and* entry phase, exactly like macro kernels, so a
+        restore or reconfiguration back to a known state re-adopts the
+        compiled kernel with zero codegen.
+        """
+        native = self._native
+        if native is _NATIVE_INELIGIBLE:
+            return None
+        if native is not None and native.matches_phase():
+            return native
+        cache = self.plan_cache
+        key = None
+        if cache.capacity:
+            phase = tuple(
+                dn.local._counter for layer in self._dnodes
+                for dn in layer if dn.mode is DnodeMode.LOCAL
+            )
+            key = ("native", phase, self.config_fingerprint())
+            native = cache.get(key)
+            if native is not None:
+                self._native = native
+                return native
+        native = compile_native(self)
+        if native is None:
+            self._native = _NATIVE_INELIGIBLE
+            return None
+        self.native_compiles += 1
+        self._native = native
+        if key is not None:
+            cache.put(key, native)
+        return native
+
     def _run_steady(self, plan, cycles: int, bus: int,
                     host_in: Optional[HostReader]) -> None:
-        """Run *cycles* on the compiled engines: fused macro + remainder.
+        """Run *cycles* on the compiled engines: native, macro, per-cycle.
 
-        With macro-stepping enabled and a long enough span, the bulk of
-        the span executes in period-multiples through the fused kernel;
-        the sub-period remainder (and everything, when fusion is off or
-        ineligible) goes through the per-cycle plan.
+        With ``backend="native"``, the longest FIFO-safe period-multiple
+        prefix executes through the time-vectorized kernel; whatever it
+        cannot take (ineligible configuration, sub-period remainder,
+        unsafe FIFO window) falls down the ladder: macro-step fusion
+        first, the per-cycle plan last.  Otherwise, with macro-stepping
+        enabled and a long enough span, the bulk of the span executes in
+        period-multiples through the fused kernel; the sub-period
+        remainder (and everything, when fusion is off or ineligible)
+        goes through the per-cycle plan.
         """
         k = self.macro_step
+        if self.backend == "native":
+            native = self._ensure_native()
+            safe = native.safe_cycles(cycles) if native is not None else 0
+            if safe:
+                self._run_plan(native, safe, bus, host_in)
+                cycles -= safe
+            if cycles:
+                self.native_fallback_cycles += cycles
+                # The remainder still deserves fusion even when the user
+                # never asked for macro-stepping explicitly.
+                k = max(k, 2)
         if k > 1 and cycles >= k:
             macro = self._ensure_macro()
             if macro is not None and cycles >= max(k, macro.period):
@@ -1049,7 +1138,9 @@ class Ring:
         * **Preserved** — everything that describes the *machine and its
           host*: the configuration and its write counters
           (``config.writes``, per-switch ``config.writes``),
-          ``plan_compiles`` / ``plan_invalidations`` / ``macro_cycles``,
+          ``plan_compiles`` / ``plan_invalidations`` / ``macro_cycles``
+          / ``native_cycles`` / ``native_compiles`` /
+          ``native_fallback_cycles``,
           the plan cache (contents *and* hit/miss/eviction statistics),
           the robustness counters (``faults_injected``, ``checkpoints``,
           ``rollbacks``, ``recovery_cycles``) — and the active compiled

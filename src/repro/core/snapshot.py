@@ -15,11 +15,12 @@ Engine interaction contract:
 
 * ``restore()`` ends with an explicit
   :meth:`~repro.core.ring.Ring._invalidate_fastpath` — the active
-  compiled plan and macro kernel are dropped and every invalidation
-  listener fires, so no engine can keep executing a plan compiled for
-  the pre-restore configuration.  Plans retained in the fingerprint
-  cache stay valid (they are keyed by configuration and close over the
-  ring's stable state containers), and restore immediately re-adopts
+  compiled plan, macro kernel and native plan are dropped and every
+  invalidation listener fires, so no engine can keep executing a plan
+  compiled for the pre-restore configuration.  Plans retained in the
+  fingerprint cache stay valid (they are keyed by configuration and
+  close over the ring's stable state containers — native plans
+  additionally by entry phase), and restore immediately re-adopts
   the cached plan for the restored fingerprint via
   :meth:`~repro.core.ring.Ring.adopt_cached_plan` — a
   restore-to-known-config pays one cache lookup, zero recompiles and

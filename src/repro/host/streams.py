@@ -375,6 +375,31 @@ class DataController:
         """Resolver handed to :meth:`repro.core.ring.Ring.step`."""
         return self.channel(index).current()
 
+    def bulk_host_in(self, ring):
+        """A resolver for whole :meth:`repro.core.ring.Ring.run` chunks.
+
+        Per-cycle servicing resets each channel's dry-latch at every
+        clock edge (:meth:`advance`), so a routed dry channel counts one
+        underrun per cycle.  A bulk chunk never calls ``advance`` — this
+        wrapper watches ``ring.cycles`` instead and clears the latches
+        whenever the fabric moves to a new cycle, reproducing the
+        per-cycle underrun accounting bit for bit (the same contract
+        :meth:`absorb_shard_run` keeps for sharded chunks).
+        """
+        last = [ring.cycles]
+
+        def host_in(index: int) -> int:
+            if ring.cycles != last[0]:
+                last[0] = ring.cycles
+                for ch in self._channels.values():
+                    if isinstance(ch, BatchStreamChannel):
+                        ch._dry_seen = [False] * ch.batch
+                    else:
+                        ch._dry_seen = False
+            return self.host_in(index)
+
+        return host_in
+
     @property
     def idle(self) -> bool:
         """True when per-cycle servicing would be a no-op.

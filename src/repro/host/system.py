@@ -81,8 +81,11 @@ class RingSystem:
         An uncontrolled system with an idle data controller (no taps, no
         queued stream words) needs no per-cycle host servicing, so the whole
         batch is handed to :meth:`repro.core.ring.Ring.run` — which lets the
-        ring's pre-decoded fast path execute without re-entering the host
-        layer every cycle.
+        ring's pre-decoded fast path (and the macro-step/native bulk
+        engines) execute without re-entering the host layer every cycle.
+        Idleness is re-checked as the run progresses: once the queued
+        stream words drain mid-run, the remaining cycles take the bulk
+        path too.
         """
         if cycles < 0:
             raise SimulationError(f"cycle count must be >= 0, got {cycles}")
@@ -98,11 +101,13 @@ class RingSystem:
                 cycles, self.ring.shard.host_channels())
             self.cycles += cycles
             return
-        if self.controller is None and self.data.idle:
-            self.ring.run(cycles, host_in=self.data.host_in)
-            self.cycles += cycles
-            return
-        for _ in range(cycles):
+        for done in range(cycles):
+            if self.controller is None and self.data.idle:
+                remaining = cycles - done
+                self.ring.run(remaining,
+                              host_in=self.data.bulk_host_in(self.ring))
+                self.cycles += remaining
+                return
             self.step()
 
     def checkpoint(self):

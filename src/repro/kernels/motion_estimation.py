@@ -28,7 +28,7 @@ the fabric cycle count is what Table 1 compares.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -125,11 +125,16 @@ def _controller_program(batches: int, compute_cycles: int,
 
 
 def build_me_system(reference_block: np.ndarray, search_area: np.ndarray,
-                    dnodes: int = 16) -> Tuple[RingSystem, dict]:
+                    dnodes: int = 16,
+                    ring_kwargs: Optional[dict] = None
+                    ) -> Tuple[RingSystem, dict]:
     """Configure a Ring-*dnodes* system for one full-search match.
 
     Returns the system plus a metadata dict (batch geometry and the
     sample indices where flushed SADs appear in the output taps).
+    *ring_kwargs* (e.g. ``{"backend": "native"}``) are forwarded to the
+    :class:`~repro.core.ring.Ring` constructor, so the matcher can run
+    on any execution engine.
     """
     reference_block = np.asarray(reference_block)
     search_area = np.asarray(search_area)
@@ -141,7 +146,7 @@ def build_me_system(reference_block: np.ndarray, search_area: np.ndarray,
             int(search_area.min(initial=0)) < 0:
         raise SimulationError("pixels must be 8-bit (0..255)")
 
-    ring = Ring(RingGeometry.ring(dnodes, width=2))
+    ring = Ring(RingGeometry.ring(dnodes, width=2), **(ring_kwargs or {}))
     ref_streams, cand_streams, grid, batches = _deal_candidates(
         reference_block, search_area, dnodes)
     pairs = reference_block.size
@@ -187,13 +192,19 @@ def build_me_system(reference_block: np.ndarray, search_area: np.ndarray,
 
 
 def full_search_me(reference_block: np.ndarray, search_area: np.ndarray,
-                   dnodes: int = 16) -> MotionEstimationResult:
+                   dnodes: int = 16,
+                   ring_kwargs: Optional[dict] = None
+                   ) -> MotionEstimationResult:
     """Run the full-search matcher on the fabric and pick the best MV.
 
     The produced SAD map is bit-exact against
-    :func:`repro.kernels.reference.full_search`.
+    :func:`repro.kernels.reference.full_search` on every backend
+    (*ring_kwargs* selects the engine; on a lane backend the SADs are
+    read from lane 0 — a scalar FIFO load reaches every lane, so all
+    lanes compute the same map).
     """
-    system, meta = build_me_system(reference_block, search_area, dnodes)
+    system, meta = build_me_system(reference_block, search_area, dnodes,
+                                   ring_kwargs=ring_kwargs)
     system.run_until_halt(max_cycles=2_000_000)
 
     ny, nx = meta["grid"]
@@ -205,12 +216,14 @@ def full_search_me(reference_block: np.ndarray, search_area: np.ndarray,
             if c >= n_candidates:
                 continue
             tap = system.data.taps[i]
-            if sample_index >= len(tap.samples):
+            samples = (tap.lane(0) if hasattr(tap, "lane")
+                       else tap.samples)
+            if sample_index >= len(samples):
                 raise SimulationError(
                     f"flush sample {sample_index} missing from tap {i} "
-                    f"({len(tap.samples)} collected)"
+                    f"({len(samples)} collected)"
                 )
-            sads[c] = tap.samples[sample_index]
+            sads[c] = samples[sample_index]
     sad_map = sads.reshape(ny, nx)
     best = np.unravel_index(int(np.argmin(sad_map)), sad_map.shape)
     return MotionEstimationResult(

@@ -22,6 +22,7 @@ from repro import word
 from repro.asm import assemble, load_system
 from repro.asm.disasm import disassemble
 from repro.asm.objcode import ObjectCode
+from repro.core.ring import Ring
 from repro.errors import ReproError, SimulationError
 
 #: Exit code for general errors (bad flags, unreadable files, a fault
@@ -164,7 +165,7 @@ def _run_with_injection(build, args, cycles: int) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     obj = ObjectCode.from_bytes(Path(args.object).read_bytes())
-    lane_backend = args.backend in ("batch", "shard")
+    lane_backend = args.backend in Ring.LANE_BACKENDS
     if lane_backend and load_system(obj).controller is not None:
         print(f"error: --backend {args.backend} needs an uncontrolled "
               "program (the configuration controller drives one scalar "
@@ -239,7 +240,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return EXIT_ABORT
     taps = list(zip(tap_specs, system.data.taps))
     batch = (system.ring.batch_size
-             if system.ring.backend in ("batch", "shard") else 1)
+             if system.ring.backend in Ring.LANE_BACKENDS else 1)
     if batch > 1:
         print(f"ran {system.cycles} cycles x {batch} lanes "
               f"({system.cycles * batch} lane-cycles)")
@@ -292,7 +293,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete toolchain argument parser (inspectable by tests)."""
     parser = argparse.ArgumentParser(
         prog="repro.tools",
         description="Systolic Ring toolchain (assembler/disassembler/runner)",
@@ -326,10 +328,11 @@ def main(argv=None) -> int:
                        help="run exactly N cycles instead of to HALT")
     p_run.add_argument("--max-cycles", type=int, default=1_000_000)
     p_run.add_argument("--backend",
-                       choices=("interpreter", "fastpath", "batch",
-                                "shard"),
+                       choices=Ring.BACKENDS,
                        default=None,
                        help="execution engine (default: the ring's own; "
+                            "'native' fuses steady state into "
+                            "time-vectorized NumPy kernels; "
                             "'batch' advances --batch-size streams at "
                             "once, streams broadcast to every lane; "
                             "'shard' splits those lanes across worker "
@@ -392,7 +395,11 @@ def main(argv=None) -> int:
                          help="run workers in-process (no worker "
                               "processes; for tests and tiny hosts)")
     p_serve.set_defaults(func=_cmd_serve)
+    return parser
 
+
+def main(argv=None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)

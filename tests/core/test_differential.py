@@ -483,6 +483,7 @@ class TestFaultRecoveryDifferential:
         reference = trace_for(backend="interpreter")
         assert trace_for(backend="fastpath") == reference
         assert trace_for(backend="fastpath", macro_step=2) == reference
+        assert trace_for(backend="native") == reference
         assert trace_for(backend="batch", batch_size=3) == reference
 
     @given(spec=ring_specs(), seed=st.integers(0, 2**16),
@@ -501,6 +502,7 @@ class TestFaultRecoveryDifferential:
         for kwargs in (dict(backend="interpreter"),
                        dict(backend="fastpath"),
                        dict(backend="fastpath", macro_step=2),
+                       dict(backend="native"),
                        dict(backend="batch", batch_size=3)):
             golden = build_ring(spec, **kwargs)
             for cycle in range(24):
@@ -522,3 +524,109 @@ class TestFaultRecoveryDifferential:
             digest = rollback_replay(ring, snapshot, 24)
             assert digest == golden_final, (
                 f"{kwargs}: {event.site.describe()} recovery diverged")
+
+
+class TestDifferentialNative:
+    """The native macro-kernel tier under the same property net.
+
+    Random fabrics hit every branch of the tier: eligible
+    configurations vectorize (and must be bit-identical to the
+    interpreter after write-back), ineligible ones ride the fallback
+    ladder (and must be bit-identical *trivially* but still exercise
+    the dispatch), FIFO-gated windows split between both.  The suite
+    runs with Numba forced absent, so it pins the pure-NumPy core —
+    the jit wrapper has its own directed tests in
+    ``tests/core/test_nativepath.py``.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _no_numba(self, monkeypatch):
+        import sys
+        monkeypatch.setitem(sys.modules, "numba", None)
+        from repro.core import nativepath
+        assert not nativepath.numba_available()
+
+    @given(spec=ring_specs(min_layers=2, max_layers=5, min_width=1,
+                           max_width=2, max_local=6),
+           chunks=st.lists(st.integers(min_value=1, max_value=40),
+                           min_size=1, max_size=4),
+           seed=st.integers(min_value=0, max_value=0xFFFF),
+           bus=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=50, **_SETTINGS)
+    def test_native_full_state_identity(self, spec, chunks, seed, bus):
+        interp = build_ring(spec, fastpath=False)
+        native = build_ring(spec, backend="native")
+        for chunk in chunks:
+            interp.run(chunk, bus=bus,
+                       host_in=lambda ch: _host_value(seed, ch,
+                                                      interp.cycles, 0))
+            native.run(chunk, bus=bus,
+                       host_in=lambda ch: _host_value(seed, ch,
+                                                      native.cycles, 0))
+            assert _state(native) == _state(interp)
+        # Every cycle is accounted to exactly one rung of the ladder
+        # (the interpreted warm-up cycles before the first plan adoption
+        # are the remainder).
+        assert native.native_cycles + native.native_fallback_cycles \
+            <= native.cycles
+
+    @given(spec_a=ring_specs(min_layers=3, max_layers=3, min_width=2,
+                             max_width=2, max_local=4),
+           spec_b=ring_specs(min_layers=3, max_layers=3, min_width=2,
+                             max_width=2, max_local=4, fifo_loads=False),
+           cycles=st.integers(min_value=1, max_value=12),
+           rounds=st.integers(min_value=2, max_value=4),
+           seed=st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=40, **_SETTINGS)
+    def test_native_reconfiguration_churn(self, spec_a, spec_b, cycles,
+                                          rounds, seed):
+        """Mid-run A/B/A context churn on the native backend: cached
+        native plans re-adopted across switches == interpreter."""
+        interp = build_ring(spec_a, fastpath=False)
+        native = build_ring(spec_a, backend="native")
+        for _round in range(rounds):
+            for spec in (spec_b, spec_a):
+                for ring in (interp, native):
+                    _apply_config_only(ring, spec)
+                    ring.run(cycles,
+                             host_in=lambda ch, _r=ring:
+                             _host_value(seed, ch, _r.cycles, 0))
+                assert _state(native) == _state(interp), (
+                    "native plan diverged after context switch"
+                )
+
+    @given(spec=ring_specs(min_layers=2, max_layers=4, min_width=1,
+                           max_width=2, max_local=4),
+           seed=st.integers(min_value=0, max_value=0xFFFF),
+           cut=st.integers(min_value=4, max_value=30),
+           total=st.integers(min_value=10, max_value=48))
+    @settings(max_examples=30, **_SETTINGS)
+    def test_native_checkpoint_rollback_replay(self, spec, seed, cut,
+                                               total):
+        """capture -> run on -> restore -> replay on the native backend
+        reproduces the interpreter's forward run bit-for-bit.
+
+        Native plans are keyed by entry phase, so a cut landing mid
+        sequencer-period may legitimately compile one extra phase
+        variant; the replay must nonetheless re-enter through the plan
+        cache (bounded compiles), and the recovered state must equal
+        the interpreter's uninterrupted forward run.  (The strict
+        zero-recompile property is pinned by the phase-aligned directed
+        test in ``test_nativepath.py``.)"""
+        from repro.core.snapshot import capture, restore, state_digest
+        cut = min(cut, total)
+        interp = build_ring(spec, fastpath=False)
+        interp.run(total, host_in=lambda ch: _host_value(
+            seed, ch, interp.cycles, 0))
+
+        native = build_ring(spec, backend="native")
+        host_in = lambda ch: _host_value(seed, ch, native.cycles, 0)
+        native.run(cut, host_in=host_in)
+        snapshot = capture(native)
+        compiles = native.native_compiles
+        native.run(total - cut, host_in=host_in)  # run past the cut ...
+        restore(native, snapshot)                 # ... roll back ...
+        native.run(total - cut, host_in=host_in)  # ... and replay.
+        # One phase variant per post-cut run() call at the very most.
+        assert native.native_compiles <= compiles + 2
+        assert state_digest(native) == state_digest(interp)
