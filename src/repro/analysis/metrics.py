@@ -148,6 +148,7 @@ class MetricsRegistry:
         metrics.extend(self._fifo_metrics())
         metrics.extend(self._batch_metrics())
         metrics.extend(self._shard_metrics())
+        metrics.extend(self._autotune_metrics())
         if self.controller is not None:
             metrics.extend(self._controller_metrics())
         return MetricsSnapshot(metrics)
@@ -355,6 +356,11 @@ class MetricsRegistry:
             ("shard_workers", "gauge",
              "Worker processes the lane axis is split across.",
              engine.workers),
+            ("shard_workers_capped", "gauge",
+             "Workers removed from the request by the core-count "
+             "ceiling (oversubscription degrades instead of thrashing).",
+             max(0, getattr(engine, "workers_requested", engine.workers)
+                 - engine.workers)),
             ("shard_using_processes", "gauge",
              "1 when a real worker pool is live, 0 in the in-process "
              "fallback.", int(engine.using_processes)),
@@ -388,6 +394,58 @@ class MetricsRegistry:
                 "shard_worker_lanes", "gauge",
                 "Lanes owned by each shard worker.", samples))
         return metrics
+
+    def _autotune_metrics(self) -> List[Metric]:
+        """Compiler-autopilot counters (empty until a search/fuzz runs).
+
+        The autotuner is process-wide (its memo cache spans rings), so
+        these families describe the process's searches, not this
+        specific ring — they appear on every registry's snapshot once
+        :mod:`repro.compiler.autotune` has done any work.
+        """
+        import sys
+        module = sys.modules.get("repro.compiler.autotune")
+        if module is None:
+            return []
+        stats = module.STATS
+        if not stats.touched:
+            return []
+        scalar = [
+            ("autotune_searches_total", "counter",
+             "Mapping-space searches started (memo hits included).",
+             stats.searches),
+            ("autotune_candidates_evaluated_total", "counter",
+             "Candidate mappings compiled, verified and scored.",
+             stats.candidates_evaluated),
+            ("autotune_verifications_total", "counter",
+             "Bit-identity checks run against the golden evaluator.",
+             stats.verifications),
+            ("autotune_verification_failures_total", "counter",
+             "Candidates rejected by bit-identity or digest checks.",
+             stats.verification_failures),
+            ("autotune_cache_hits_total", "counter",
+             "Searches answered from the best-known-mapping memo.",
+             stats.cache_hits),
+            ("autotune_cache_misses_total", "counter",
+             "Searches that had to sweep the mapping space.",
+             stats.cache_misses),
+            ("autotune_search_ms_total", "counter",
+             "Wall-clock milliseconds spent inside autotune_graph.",
+             stats.search_ms_total),
+            ("autotune_best_cycles_per_sec", "gauge",
+             "Measured throughput of the most recent search winner.",
+             stats.best_cycles_per_sec),
+            ("autotune_fuzz_rounds_total", "counter",
+             "Configuration-fuzzer rounds executed.", stats.fuzz_rounds),
+            ("autotune_fuzz_candidates_total", "counter",
+             "Fuzzer candidate mappings run across the engine matrix.",
+             stats.fuzz_candidates),
+            ("autotune_fuzz_mismatches_total", "counter",
+             "Cross-engine output divergences found by the fuzzer.",
+             stats.fuzz_mismatches),
+        ]
+        return [Metric(name, kind, help_, (((), float(value)),))
+                for name, kind, help_, value in scalar]
 
     def _controller_metrics(self) -> List[Metric]:
         state = self.controller.state

@@ -14,7 +14,14 @@ architectures."  This package builds that tool:
   (microwords + switch routes + taps), runnable directly or exported as
   two-level assembly text;
 * :mod:`repro.compiler.profiler` — per-Dnode utilisation and operator-mix
-  reports from simulator statistics.
+  reports from simulator statistics, plus the measured-throughput scoring
+  primitive;
+* :mod:`repro.compiler.library` — named kernel graphs (FIR-8, DCT-4,
+  complex multiply, envelope follower) with deterministic test streams;
+* :mod:`repro.compiler.autotune` — the compiler autopilot: a
+  measured-throughput search over mode x placement x engine mappings,
+  verified bit-identical against the golden evaluator and memoized by
+  graph+fabric fingerprint (``compile_graph(..., autotune=True)``).
 
 Typical use::
 
@@ -29,9 +36,13 @@ Typical use::
 """
 
 from repro.compiler.graph import DataflowGraph, Node, NodeKind
-from repro.compiler.schedule import Placement, schedule
-from repro.compiler.codegen import CompiledProgram, compile_graph
-from repro.compiler.profiler import profile_report, utilization_by_dnode
+from repro.compiler.schedule import LANE_ORDERS, Placement, schedule
+from repro.compiler.codegen import MODES, CompiledProgram, compile_graph
+from repro.compiler.profiler import (measured_cycles_per_second,
+                                     profile_report, utilization_by_dnode)
+from repro.compiler.library import GRAPH_LIBRARY, build_graph, library_streams
+from repro.compiler.autotune import (AutotuneResult, Mapping,
+                                     autotune_graph, fuzz_conformance)
 
 __all__ = [
     "DataflowGraph",
@@ -39,8 +50,18 @@ __all__ = [
     "NodeKind",
     "Placement",
     "schedule",
+    "LANE_ORDERS",
     "CompiledProgram",
     "compile_graph",
+    "MODES",
     "profile_report",
     "utilization_by_dnode",
+    "measured_cycles_per_second",
+    "GRAPH_LIBRARY",
+    "build_graph",
+    "library_streams",
+    "AutotuneResult",
+    "Mapping",
+    "autotune_graph",
+    "fuzz_conformance",
 ]

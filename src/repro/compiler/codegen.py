@@ -16,19 +16,29 @@ resource usage, and export itself as two-level assembly text that the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import word
 from repro.asm.microasm import format_dnode_op
 from repro.compiler.graph import CompileError, DataflowGraph
 from repro.compiler.schedule import Operand, Placement, PhysNode, schedule
+from repro.core.dnode import DnodeMode
 from repro.core.isa import Dest, MicroWord, Opcode, Source
 from repro.core.ring import Ring, RingGeometry
 from repro.core.switch import PortSource
 from repro.host.system import RingSystem
 
 Streams = Union[Sequence[int], Dict[int, Sequence[int]]]
+
+
+#: Dnode execution-mode assignments the code generator can emit.  A
+#: one-slot local program loops one microword — bit-identical to global
+#: mode — so mode assignment is a *mapping* choice (which engines and
+#: reconfiguration styles the placement composes with), not a semantic
+#: one.  ``"hybrid"`` keeps operators global and pushes pass-node relays
+#: into local loops (the paper's mixed operating point).
+MODES = ("global", "local", "hybrid")
 
 
 @dataclass
@@ -40,6 +50,13 @@ class CompiledProgram:
     geometry: RingGeometry
     microwords: Dict[Tuple[int, int], MicroWord]
     routes: Dict[Tuple[int, int, int], PortSource]
+    #: Mode assignment emitted by :meth:`configure` (see :data:`MODES`).
+    mode: str = "global"
+    #: Keyword arguments for the default ring :meth:`build_system`
+    #: creates — the autotuner bakes its engine choice (backend,
+    #: macro_step, plan_cache) in here so ``program.run()`` executes on
+    #: the tuned engine.
+    ring_kwargs: Dict[str, object] = field(default_factory=dict)
 
     @property
     def dnodes_used(self) -> int:
@@ -50,6 +67,17 @@ class CompiledProgram:
         """Deepest pipeline level = cycles from input to last output."""
         return self.placement.levels
 
+    def local_addrs(self) -> frozenset:
+        """The ``(layer, lane)`` addresses emitted in local mode."""
+        if self.mode == "local":
+            return frozenset(self.microwords)
+        if self.mode == "hybrid":
+            return frozenset(
+                (p.level - 1, p.lane) for p in self.placement.phys
+                if p.graph_node is None
+            )
+        return frozenset()
+
     def configure(self, ring: Ring) -> None:
         """Write the compiled configuration into *ring*."""
         if ring.geometry.layers < self.geometry.layers or \
@@ -59,15 +87,21 @@ class CompiledProgram:
                 f"{self.geometry.width}, ring is "
                 f"{ring.geometry.layers}x{ring.geometry.width}"
             )
+        local = self.local_addrs()
         for (layer, lane), mw in self.microwords.items():
-            ring.config.write_microword(layer, lane, mw)
+            if (layer, lane) in local:
+                ring.config.write_local_program(layer, lane, [mw])
+                ring.config.write_mode(layer, lane, DnodeMode.LOCAL)
+            else:
+                ring.config.write_microword(layer, lane, mw)
+                ring.config.write_mode(layer, lane, DnodeMode.GLOBAL)
         for (switch, pos, port), source in self.routes.items():
             ring.config.write_switch_route(switch, pos, port, source)
 
     def build_system(self, ring: Optional[Ring] = None) -> RingSystem:
         """A configured, ready-to-stream system."""
         if ring is None:
-            ring = Ring(self.geometry)
+            ring = Ring(self.geometry, **self.ring_kwargs)
         self.configure(ring)
         return RingSystem(ring)
 
@@ -100,9 +134,11 @@ class CompiledProgram:
 
     def to_assembly(self, plane: str = "compiled") -> str:
         """Export as `.ring` assembly accepted by :func:`repro.asm.assemble`."""
+        local = self.local_addrs()
         lines = [f".ring {plane}"]
         for (layer, lane) in sorted(self.microwords):
-            lines.append(f"dnode {layer}.{lane} global")
+            kind = "local" if (layer, lane) in local else "global"
+            lines.append(f"dnode {layer}.{lane} {kind}")
             lines.append("    " + format_dnode_op(
                 self.microwords[(layer, lane)]))
         by_switch: Dict[int, List[Tuple[int, int, PortSource]]] = {}
@@ -143,19 +179,66 @@ def _operand_source(operand: Operand, phys: List[PhysNode],
     return Source.IN1 if port == 1 else Source.IN2, 0
 
 
+#: Widest fabric the auto-widening default will try before giving up.
+_MAX_AUTO_WIDTH = 16
+
+
 def compile_graph(graph: DataflowGraph,
                   geometry: Optional[RingGeometry] = None,
-                  ) -> CompiledProgram:
-    """Compile *graph* for *geometry* (default: smallest width-2 ring).
+                  mode: str = "global",
+                  lane_order: str = "index",
+                  ring_kwargs: Optional[Dict[str, object]] = None,
+                  autotune: bool = False,
+                  **autotune_opts) -> CompiledProgram:
+    """Compile *graph* for *geometry* (default: narrowest ring that fits).
+
+    Args:
+        graph: the dataflow graph to compile.
+        geometry: target fabric shape; None derives the smallest fit
+            (width 2 first, widened until the widest level fits).
+        mode: Dnode execution-mode assignment (see :data:`MODES`).
+        lane_order: per-level lane order (see
+            :data:`repro.compiler.schedule.LANE_ORDERS`).
+        ring_kwargs: keyword arguments for the default ring
+            ``build_system`` creates (backend, macro_step, ...).
+        autotune: search the mapping space instead of emitting the
+            hand-shaped default — candidates are scored by measured
+            cycles/s and verified bit-identical against
+            :meth:`DataflowGraph.evaluate` before one can win; remaining
+            keyword arguments go to
+            :func:`repro.compiler.autotune.autotune_graph`.
 
     Raises:
         CompileError: for unmappable graphs (see
             :func:`repro.compiler.schedule.schedule`).
     """
-    width = geometry.width if geometry else 2
-    max_levels = geometry.layers if geometry else None
-    placement = schedule(graph, max_levels=max_levels, width=width)
-    if geometry is None:
+    if autotune:
+        from repro.compiler.autotune import autotune_graph
+        return autotune_graph(graph, geometry=geometry,
+                              **autotune_opts).program
+    if autotune_opts:
+        raise TypeError(
+            f"unexpected arguments {sorted(autotune_opts)} "
+            f"(only valid with autotune=True)")
+    if mode not in MODES:
+        raise CompileError(
+            f"unknown mode {mode!r}; expected one of {MODES}")
+    if geometry is not None:
+        placement = schedule(graph, max_levels=geometry.layers,
+                             width=geometry.width, lane_order=lane_order)
+    else:
+        width, placement = 2, None
+        while True:
+            try:
+                placement = schedule(graph, width=width,
+                                     lane_order=lane_order)
+                break
+            except CompileError as exc:
+                # Auto-widen only on width exhaustion; everything else
+                # (depth, delay legality) re-raises untouched.
+                if "wide" not in str(exc) or width >= _MAX_AUTO_WIDTH:
+                    raise
+                width += 1
         geometry = RingGeometry(layers=max(placement.levels, 2),
                                 width=width)
 
@@ -186,4 +269,5 @@ def compile_graph(graph: DataflowGraph,
             op=p.op, src_a=src_a, src_b=src_b, dst=Dest.OUT, imm=imm)
     return CompiledProgram(graph=graph, placement=placement,
                            geometry=geometry, microwords=microwords,
-                           routes=routes)
+                           routes=routes, mode=mode,
+                           ring_kwargs=dict(ring_kwargs or {}))

@@ -83,15 +83,37 @@ def _collapse_delays(graph: DataflowGraph):
     return resolve
 
 
+#: Lane-assignment orders the scheduler understands.  Feedback taps
+#: (``Rp``) only reach lanes 0..1, so *which* nodes land in the low
+#: lanes decides whether a delayed-operand placement is legal at all —
+#: one of the placement dimensions the autotuner searches.
+LANE_ORDERS = ("index", "reverse", "delay-first")
+
+
 def schedule(graph: DataflowGraph, max_levels: Optional[int] = None,
-             width: int = 2) -> Placement:
+             width: int = 2, lane_order: str = "index") -> Placement:
     """Schedule *graph* onto a ``max_levels x width`` fabric.
+
+    Args:
+        graph: the dataflow graph to place.
+        max_levels: fabric depth bound (None = unbounded).
+        width: fabric width (Dnodes per layer).
+        lane_order: per-level lane-assignment order — ``"index"``
+            (creation order, the default), ``"reverse"``, or
+            ``"delay-first"`` (producers read through feedback taps
+            claim lanes 0..1 first, which can make an otherwise-illegal
+            delayed placement legal).
 
     Raises:
         CompileError: when the graph needs more layers/lanes than
             available, uses a delay deeper than the feedback pipelines,
             or has an operator with two constant operands.
     """
+    if lane_order not in LANE_ORDERS:
+        raise CompileError(
+            f"unknown lane order {lane_order!r}; expected one of "
+            f"{LANE_ORDERS}"
+        )
     graph.validate()
     resolve = _collapse_delays(graph)
 
@@ -220,6 +242,19 @@ def schedule(graph: DataflowGraph, max_levels: Optional[int] = None,
     # ------------------------------------------------------------------
     if not phys:
         raise CompileError("graph has no operator nodes")
+    delayed_producers = {
+        o.producer for p in phys for o in p.operands
+        if o.kind == "node" and o.delay > 0
+    }
+    if lane_order == "reverse":
+        def lane_key(q):
+            return -q.index
+    elif lane_order == "delay-first":
+        def lane_key(q):
+            return (q.index not in delayed_producers, q.index)
+    else:
+        def lane_key(q):
+            return q.index
     max_level = max(p.level for p in phys)
     width_needed = 0
     for level in range(1, max_level + 1):
@@ -230,7 +265,7 @@ def schedule(graph: DataflowGraph, max_levels: Optional[int] = None,
                 f"level {level} needs {len(members)} Dnodes but the "
                 f"fabric is only {width} wide"
             )
-        for lane, p in enumerate(sorted(members, key=lambda q: q.index)):
+        for lane, p in enumerate(sorted(members, key=lane_key)):
             p.lane = lane
     if max_levels is not None and max_level > max_levels:
         raise CompileError(

@@ -725,16 +725,33 @@ class Ring:
         return None if best is None else best - cycle
 
     @contextmanager
-    def profile(self):
+    def profile(self, warmup: int = 0, bus: int = 0,
+                host_in: Optional[HostReader] = None):
         """Context manager timing the engines while the block runs.
 
         Yields a :class:`RingProfile` that accumulates wall-clock seconds
         and cycle counts separately for the interpreter, the compiled fast
         path, and plan compilation.  Profiling adds one predicate per
         dispatch decision — nothing on the per-cycle fast path itself.
+
+        Args:
+            warmup: cycles to run *untimed* before the profile attaches.
+                First-touch costs (plan compilation, macro/native codegen,
+                any Numba jit) land in the warm-up chunk instead of the
+                measured region, so the profile reports steady-state
+                throughput — the number the compiler autopilot scores
+                candidate mappings by.
+            bus: bus value driven during the warm-up cycles.
+            host_in: host resolver used during the warm-up cycles (the
+                profiled block supplies its own).
         """
         if self._profile is not None:
             raise SimulationError("ring is already being profiled")
+        if warmup < 0:
+            raise SimulationError(
+                f"profile warmup must be >= 0, got {warmup}")
+        if warmup:
+            self.run(warmup, bus=bus, host_in=host_in)
         profile = RingProfile()
         self._profile = profile
         try:

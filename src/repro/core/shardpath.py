@@ -77,6 +77,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: is per-lane and lives in shared memory instead).
 _STAT_FIELDS = ("cycles", "instructions", "arithmetic_ops", "multiplies")
 
+#: Environment override for the effective-worker ceiling.  The default
+#: ceiling is the host core count: BENCH_shard.json showed a 4-worker
+#: pool running at 0.23x on a 1-core host, so oversubscription degrades
+#: to fewer workers instead of thrashing.  Tests (and deliberately
+#: oversubscribed deployments) set ``REPRO_SHARD_MAX_WORKERS`` to pin
+#: real process boundaries regardless of the runner's core count.
+MAX_WORKERS_ENV = "REPRO_SHARD_MAX_WORKERS"
+
+
+def max_shard_workers() -> int:
+    """The effective-worker ceiling: env override or the host core count."""
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{MAX_WORKERS_ENV} must be an integer, got {raw!r}")
+        if value < 1:
+            raise ConfigurationError(
+                f"{MAX_WORKERS_ENV} must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
 #: Seconds the parent waits for a worker's startup handshake before
 #: falling back to the in-process engine.
 _SPAWN_TIMEOUT = 60.0
@@ -454,8 +478,11 @@ class ShardedBatchRing:
         self.ring = ring
         self.batch = batch
         if workers is None:
-            workers = min(batch, os.cpu_count() or 1)
-        self.workers = min(workers, batch)
+            workers = min(batch, max_shard_workers())
+        #: Worker count as requested (before the core-count ceiling) —
+        #: the ``shard_workers_capped`` metric reports the difference.
+        self.workers_requested = min(workers, batch)
+        self.workers = min(self.workers_requested, max_shard_workers())
         g = ring.geometry
         self._geometry = (g.layers, g.width, g.pipeline_depth)
         self._head = 0
@@ -1142,7 +1169,8 @@ class ShardedBatchRing:
             raise ConfigurationError(
                 f"shard workers must be >= 1, got {workers}"
             )
-        workers = min(workers, self.batch)
+        self.workers_requested = min(workers, self.batch)
+        workers = min(self.workers_requested, max_shard_workers())
         if workers == self.workers and (
                 self.using_processes or workers == 1):
             return

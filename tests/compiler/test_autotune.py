@@ -1,0 +1,389 @@
+"""Compiler autopilot: search, verification, memoization, fuzzing, CLI.
+
+The tentpole contract pinned here:
+
+* every candidate mapping is *measured* (never modelled) and must
+  reproduce the golden evaluator bit-for-bit before it can win;
+* the winner is at least as fast as the default ``compile_graph``
+  emission (the baseline is itself a candidate);
+* a repeat submission hits the (graph fingerprint, fabric shape,
+  backend availability) memo and pays no search;
+* the configuration fuzzer drives mutated graphs across every mapping
+  variant and every execution engine, bit-comparing all of them;
+* the ``autotune_*`` metric families surface the whole story.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler.autotune import (
+    ENGINE_VARIANTS,
+    MEMO,
+    STATS,
+    Mapping,
+    autotune_graph,
+    fuzz_conformance,
+    memo_key,
+    reset_autotune_state,
+)
+from repro.compiler.codegen import MODES, compile_graph
+from repro.compiler.graph import CompileError, DataflowGraph
+from repro.compiler.library import (
+    GRAPH_LIBRARY,
+    build_graph,
+    library_streams,
+)
+from repro.compiler.schedule import LANE_ORDERS, schedule
+from repro.core.ring import Ring, RingGeometry
+
+#: Small search budget: candidate ranking may wobble at this size, but
+#: every property asserted here (verification, memoization, speedup
+#: floor vs baseline) is budget-independent.
+FAST = dict(score_cycles=200, repeats=1, verify_samples=12)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_autotuner():
+    """Every test starts with an empty memo and zeroed counters."""
+    reset_autotune_state()
+    yield
+    reset_autotune_state()
+
+
+class TestMapping:
+    def test_describe_names_every_axis(self):
+        text = Mapping(mode="hybrid", lane_order="delay-first",
+                       backend="native", macro_step=64,
+                       plan_cache=2).describe()
+        assert text == "hybrid/delay-first/native+macro64/cache2"
+
+    def test_ring_kwargs_scalar_engine(self):
+        kwargs = Mapping(backend="fastpath", macro_step=64).ring_kwargs()
+        assert kwargs == {"backend": "fastpath", "plan_cache": 8,
+                          "macro_step": 64}
+
+    def test_ring_kwargs_lane_engine_gets_batch_size(self):
+        kwargs = Mapping(backend="batch").ring_kwargs()
+        assert kwargs["batch_size"] == 1
+
+    def test_every_engine_variant_constructs_a_ring(self):
+        for backend, macro_step, plan_cache in ENGINE_VARIANTS:
+            mapping = Mapping(backend=backend, macro_step=macro_step,
+                              plan_cache=plan_cache)
+            ring = Ring(RingGeometry(layers=2, width=2),
+                        **mapping.ring_kwargs())
+            assert ring.backend == backend
+
+
+class TestSearch:
+    def test_winner_beats_or_matches_baseline(self):
+        result = autotune_graph(build_graph("envelope"), **FAST)
+        assert result.cycles_per_second >= \
+            result.baseline_cycles_per_second
+        assert result.speedup >= 1.0
+        assert not result.cache_hit
+
+    def test_every_winning_candidate_is_verified(self):
+        result = autotune_graph(build_graph("dct4"), **FAST)
+        ranked = [c for c in result.candidates if c.verified]
+        assert ranked, "at least the baseline must verify"
+        assert result.mapping in {c.mapping for c in ranked}
+        assert STATS.verifications >= len(result.candidates)
+
+    def test_winner_output_bit_identical_to_golden(self):
+        graph = build_graph("fir8")
+        result = autotune_graph(graph, **FAST)
+        streams = library_streams(graph, 20, seed=77)
+        assert result.program.run(streams) == graph.evaluate(streams)
+
+    def test_search_covers_placements_and_engines(self):
+        result = autotune_graph(build_graph("envelope"), **FAST)
+        mappings = {c.mapping for c in result.candidates}
+        assert {m.mode for m in mappings} == set(MODES)
+        assert len({(m.backend, m.macro_step) for m in mappings}) >= 4
+
+    def test_report_renders_ranked_table(self):
+        result = autotune_graph(build_graph("envelope"), **FAST)
+        report = result.report()
+        assert "wins" in report
+        assert result.mapping.describe() in report
+
+    def test_geometry_constraint_respected(self):
+        geometry = RingGeometry(layers=4, width=6)
+        result = autotune_graph(build_graph("dct4"), geometry=geometry,
+                                **FAST)
+        assert result.program.geometry == geometry
+
+    def test_unmappable_graph_raises(self):
+        g = DataflowGraph()
+        x = g.input(0)
+        # 5-cycle delay exceeds the feedback-pipeline depth everywhere.
+        g.output(g.op("add", x, g.delay(g.op("mov", x), 5)))
+        with pytest.raises(CompileError):
+            autotune_graph(g, **FAST)
+
+
+class TestMemo:
+    def test_resubmission_hits_the_memo(self):
+        first = autotune_graph(build_graph("envelope"), **FAST)
+        second = autotune_graph(build_graph("envelope"), **FAST)
+        assert not first.cache_hit and second.cache_hit
+        assert second.mapping == first.mapping
+        assert second.candidates == []  # no search ran
+        assert STATS.cache_hits == 1 and STATS.cache_misses == 1
+        assert second.search_ms < first.search_ms
+
+    def test_memo_key_separates_graphs_and_shapes(self):
+        g1, g2 = build_graph("fir8"), build_graph("dct4")
+        assert memo_key(g1, None) != memo_key(g2, None)
+        assert memo_key(g1, None) != \
+            memo_key(g1, RingGeometry(layers=12, width=4))
+
+    def test_identical_rebuilds_share_one_key(self):
+        assert memo_key(build_graph("fir8"), None) == \
+            memo_key(build_graph("fir8"), None)
+
+    def test_memo_false_always_searches(self):
+        autotune_graph(build_graph("envelope"), memo=False, **FAST)
+        result = autotune_graph(build_graph("envelope"), memo=False,
+                                **FAST)
+        assert not result.cache_hit
+        assert len(MEMO) == 0
+
+    def test_memoized_program_still_runs_golden(self):
+        graph = build_graph("cmul")
+        autotune_graph(graph, **FAST)
+        hit = autotune_graph(build_graph("cmul"), **FAST)
+        assert hit.cache_hit
+        streams = library_streams(graph, 10)
+        assert hit.program.run(streams) == graph.evaluate(streams)
+
+
+class TestCompileGraphIntegration:
+    def test_autotune_flag_returns_tuned_program(self):
+        program = compile_graph(build_graph("envelope"), autotune=True,
+                                **FAST)
+        assert program.ring_kwargs  # engine choice baked in
+        streams = library_streams(build_graph("envelope"), 8)
+        golden = build_graph("envelope").evaluate(streams)
+        assert program.run(streams) == golden
+
+    def test_stray_autotune_options_rejected(self):
+        with pytest.raises(TypeError):
+            compile_graph(build_graph("envelope"), score_cycles=100)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CompileError):
+            compile_graph(build_graph("envelope"), mode="turbo")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_modes_bit_identical(self, mode):
+        graph = build_graph("dct4")
+        streams = library_streams(graph, 10)
+        program = compile_graph(graph, mode=mode)
+        assert program.run(streams) == graph.evaluate(streams)
+
+    def test_local_mode_emits_local_dnodes(self):
+        asm = compile_graph(build_graph("envelope"),
+                            mode="local").to_assembly()
+        assert " local" in asm and " global" not in asm
+
+    def test_hybrid_mode_localises_pass_nodes_only(self):
+        program = compile_graph(build_graph("fir8"), mode="hybrid")
+        local = program.local_addrs()
+        assert local, "fir8 has relay pass nodes"
+        passes = {(p.level - 1, p.lane) for p in program.placement.phys
+                  if p.graph_node is None}
+        assert local == passes
+
+    def test_assembly_round_trip_local_mode(self):
+        from repro.asm import assemble
+        program = compile_graph(build_graph("envelope"), mode="local")
+        obj = assemble(program.to_assembly(),
+                       layers=program.geometry.layers,
+                       width=program.geometry.width)
+        assert obj.planes
+
+    @pytest.mark.parametrize("lane_order", LANE_ORDERS)
+    def test_all_lane_orders_bit_identical(self, lane_order):
+        graph = build_graph("envelope")
+        streams = library_streams(graph, 10)
+        program = compile_graph(graph, lane_order=lane_order)
+        assert program.run(streams) == graph.evaluate(streams)
+
+    def test_unknown_lane_order_rejected(self):
+        with pytest.raises(CompileError):
+            schedule(build_graph("envelope"), lane_order="sideways")
+
+    def test_auto_widen_fits_wide_graphs(self):
+        # fir8 needs width 3: the default geometry must widen past 2.
+        program = compile_graph(build_graph("fir8"))
+        assert program.geometry.width == 3
+
+
+class TestLibrary:
+    def test_catalogue(self):
+        assert set(GRAPH_LIBRARY) == {"fir8", "dct4", "cmul", "envelope"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CompileError):
+            build_graph("fft1024")
+
+    @pytest.mark.parametrize("name", sorted(GRAPH_LIBRARY))
+    def test_every_kernel_compiles_and_matches_golden(self, name):
+        graph = build_graph(name)
+        streams = library_streams(graph, 16)
+        assert compile_graph(graph).run(streams) == \
+            graph.evaluate(streams)
+
+    def test_streams_deterministic_and_per_channel(self):
+        graph = build_graph("cmul")
+        a = library_streams(graph, 8, seed=5)
+        b = library_streams(graph, 8, seed=5)
+        assert a == b
+        assert set(a) == {0, 1}
+        assert a[0] != a[1]
+
+
+class TestFuzzer:
+    def test_engines_bit_identical_under_fuzzing(self):
+        report = fuzz_conformance(rounds=6, seed=2002, samples=6)
+        assert report.ok, report.mismatches
+        assert report.candidates_checked > 0
+        assert report.coverage > 0
+
+    def test_deterministic_for_a_seed(self):
+        a = fuzz_conformance(rounds=4, seed=11, samples=5)
+        b = fuzz_conformance(rounds=4, seed=11, samples=5)
+        assert (a.candidates_checked, a.coverage, a.corpus_size,
+                a.rejected) == (b.candidates_checked, b.coverage,
+                                b.corpus_size, b.rejected)
+
+    def test_summary_carries_the_verdict(self):
+        report = fuzz_conformance(rounds=3, seed=7, samples=5)
+        assert "bit-identical" in report.summary()
+        assert STATS.fuzz_rounds == 3
+
+
+class TestMetrics:
+    def test_families_absent_until_touched(self):
+        from repro.analysis.metrics import collect_metrics
+        ring = Ring(RingGeometry(layers=2, width=2))
+        data = json.loads(collect_metrics(ring).to_json())
+        assert "autotune_searches_total" not in data
+
+    def test_search_and_fuzz_counters_surface(self):
+        from repro.analysis.metrics import collect_metrics
+        result = autotune_graph(build_graph("envelope"), **FAST)
+        autotune_graph(build_graph("envelope"), **FAST)
+        fuzz_conformance(rounds=2, seed=3, samples=5)
+        ring = Ring(RingGeometry(layers=2, width=2))
+        data = json.loads(collect_metrics(ring).to_json())
+        assert data["autotune_searches_total"] == 2
+        assert data["autotune_cache_hits_total"] == 1
+        assert data["autotune_cache_misses_total"] == 1
+        assert data["autotune_candidates_evaluated_total"] == \
+            len(result.candidates)
+        assert data["autotune_best_cycles_per_sec"] > 0
+        assert data["autotune_search_ms_total"] > 0
+        assert data["autotune_fuzz_rounds_total"] == 2
+        assert data["autotune_fuzz_mismatches_total"] == 0
+
+    def test_prometheus_export_includes_families(self):
+        from repro.analysis.metrics import collect_metrics
+        autotune_graph(build_graph("envelope"), **FAST)
+        ring = Ring(RingGeometry(layers=2, width=2))
+        text = collect_metrics(ring).to_prometheus()
+        assert "repro_autotune_searches_total" in text
+
+
+class TestCli:
+    def test_list_names_the_library(self, capsys):
+        from repro.tools.__main__ import main
+        assert main(["autotune", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fir8" in out and "dct4" in out
+
+    def test_json_verdict(self, capsys):
+        from repro.tools.__main__ import main
+        code = main(["autotune", "envelope", "--cycles", "200",
+                     "--repeats", "1", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"] == "envelope"
+        assert payload["speedup"] >= 1.0
+        assert payload["cache_hit"] is False
+
+    def test_table_output_with_fuzz_leg(self, capsys):
+        from repro.tools.__main__ import main
+        code = main(["autotune", "envelope", "--cycles", "200",
+                     "--repeats", "1", "--no-memo", "--fuzz", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wins" in out
+        assert "fuzz: 2 rounds" in out
+
+    def test_graph_required_without_list(self, capsys):
+        from repro.tools.__main__ import main
+        assert main(["autotune"]) == 1
+        assert "library graph" in capsys.readouterr().err
+
+    def test_unknown_graph_fails_cleanly(self, capsys):
+        from repro.tools.__main__ import main
+        assert main(["autotune", "fft1024"]) == 1
+        assert "unknown library graph" in capsys.readouterr().err
+
+
+class TestFarmSubmitGraph:
+    def _run(self, coro):
+        import asyncio
+        return asyncio.run(coro)
+
+    def test_graph_submission_matches_golden(self):
+        from repro.farm import RingFarm
+
+        graph = build_graph("dct4")
+        streams = library_streams(graph, 10)
+        golden = graph.evaluate(streams)
+
+        async def scenario():
+            async with RingFarm(workers=1, use_processes=False) as farm:
+                return await farm.submit_graph("t0", graph, streams,
+                                               **FAST)
+
+        result, outputs = self._run(scenario())
+        assert outputs == golden
+        assert result.cycles_run == 10 + 4  # length + dct4 latency
+
+    def test_resubmission_is_memoized(self):
+        from repro.farm import RingFarm
+
+        graph = build_graph("envelope")
+        streams = library_streams(graph, 8)
+        golden = graph.evaluate(streams)
+
+        async def scenario():
+            async with RingFarm(workers=1, use_processes=False) as farm:
+                await farm.submit_graph("t0", graph, streams, **FAST)
+                return await farm.submit_graph(
+                    "t1", build_graph("envelope"), streams, **FAST)
+
+        _, outputs = self._run(scenario())
+        assert outputs == golden
+        assert STATS.cache_hits == 1
+
+    def test_untuned_submission_uses_default_mapping(self):
+        from repro.farm import RingFarm
+
+        graph = build_graph("cmul")
+        streams = library_streams(graph, 6)
+
+        async def scenario():
+            async with RingFarm(workers=1, use_processes=False) as farm:
+                return await farm.submit_graph("t0", graph, streams,
+                                               autotune=False)
+
+        _, outputs = self._run(scenario())
+        assert outputs == graph.evaluate(streams)
+        assert STATS.searches == 0

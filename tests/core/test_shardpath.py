@@ -605,3 +605,91 @@ class TestShardCli:
         assert code == 1
         err = capsys.readouterr().err
         assert "batch or shard" in err
+
+
+class TestWorkerCap:
+    """Satellite: effective workers never exceed the core-count ceiling.
+
+    The ceiling is ``os.cpu_count()`` by default and overridable with
+    ``REPRO_SHARD_MAX_WORKERS`` (the suite's conftest pins it to 8 so
+    2-worker pool tests behave identically on 1-core runners); the
+    clamped difference surfaces as the ``shard_workers_capped`` gauge.
+    """
+
+    def test_ceiling_follows_env_override(self, monkeypatch):
+        from repro.core.shardpath import MAX_WORKERS_ENV, max_shard_workers
+        monkeypatch.setenv(MAX_WORKERS_ENV, "3")
+        assert max_shard_workers() == 3
+
+    def test_ceiling_defaults_to_cpu_count(self, monkeypatch):
+        import os
+        from repro.core.shardpath import MAX_WORKERS_ENV, max_shard_workers
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        assert max_shard_workers() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", ["zero?", "0", "-2"])
+    def test_ceiling_rejects_bad_env(self, monkeypatch, bad):
+        from repro.core.shardpath import MAX_WORKERS_ENV, max_shard_workers
+        monkeypatch.setenv(MAX_WORKERS_ENV, bad)
+        with pytest.raises(ConfigurationError):
+            max_shard_workers()
+
+    def test_oversubscribed_request_is_clamped(self, monkeypatch):
+        from repro.core.shardpath import MAX_WORKERS_ENV
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=4)
+        engine = ring.shard
+        try:
+            assert engine.workers_requested == 4
+            assert engine.workers == 1
+        finally:
+            engine.close()
+
+    def test_capped_metric_reports_the_difference(self, monkeypatch):
+        import json
+        from repro.analysis.metrics import collect_metrics
+        from repro.core.shardpath import MAX_WORKERS_ENV
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=3)
+        engine = ring.shard
+        try:
+            ring.run(4, host_in=_host_zero)
+            data = json.loads(collect_metrics(ring).to_json())
+            assert data["shard_workers"] == 1
+            assert data["shard_workers_capped"] == 2
+        finally:
+            engine.close()
+
+    def test_uncapped_request_reports_zero(self, shard_pair):
+        import json
+        from repro.analysis.metrics import collect_metrics
+        _, shard, engine = shard_pair
+        shard.run(2, host_in=_host_zero)
+        data = json.loads(collect_metrics(shard).to_json())
+        assert data["shard_workers_capped"] == 0
+
+    def test_set_workers_respects_ceiling(self, monkeypatch):
+        from repro.core.shardpath import MAX_WORKERS_ENV
+        monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+        ring = _fir_ring(backend="shard", batch_size=4, shard_workers=1)
+        engine = ring.shard
+        try:
+            ring.run(2, host_in=_host_zero)
+            before = state_digest(ring)
+            engine.set_workers(4)
+            assert engine.workers == 1
+            assert engine.workers_requested == 4
+            assert state_digest(ring) == before, "migration bit-identical"
+        finally:
+            engine.close()
+
+    def test_default_request_uses_ceiling(self, monkeypatch):
+        from repro.core.shardpath import MAX_WORKERS_ENV
+        monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+        ring = _fir_ring(backend="shard", batch_size=5)
+        engine = ring.shard
+        try:
+            assert engine.workers == 2
+            assert engine.workers_requested == 2
+        finally:
+            engine.close()
