@@ -46,8 +46,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro import word
 from repro.compiler.codegen import MODES, CompiledProgram, compile_graph
-from repro.compiler.graph import CompileError, DataflowGraph
-from repro.compiler.library import library_streams
+from repro.compiler.graph import CompileError, DataflowGraph, NodeKind
+from repro.compiler.library import GRAPH_LIBRARY, library_streams
 from repro.compiler.profiler import measured_cycles_per_second
 from repro.compiler.schedule import schedule
 from repro.core import nativepath
@@ -520,6 +520,45 @@ class _Genome:
         return g
 
 
+def _genome_from_graph(graph: DataflowGraph) -> _Genome:
+    """Re-express a built graph as a fuzz genome.
+
+    Node indices are positional in construction order, so operand
+    references map straight onto genome spec indices.  The genome's
+    synthesized outputs (last + middle operator) replace the graph's
+    declared ones — corpus seeds steer the *shape* of the walk, they are
+    not re-verified against the original kernel's output selection.
+    """
+    specs: List[tuple] = []
+    for node in graph.nodes():
+        if node.kind is NodeKind.INPUT:
+            specs.append(("input", node.channel))
+        elif node.kind is NodeKind.CONST:
+            specs.append(("const", word.to_signed(node.value)))
+        elif node.kind is NodeKind.DELAY:
+            specs.append(("delay", node.operands[0], node.amount))
+        else:
+            specs.append(("op", node.op.name.lower(), node.operands[0],
+                          node.operands[1] if len(node.operands) > 1
+                          else 0))
+    return _Genome(specs)
+
+
+def _library_corpus(max_nodes: int) -> List[_Genome]:
+    """Fuzz seeds from every library recipe small enough to mutate.
+
+    Oversized graphs (the CORDIC unrolls) are skipped — a mutant larger
+    than *max_nodes* is truncated to a stub by the campaign loop, so
+    seeding them would only waste rounds.
+    """
+    seeds = []
+    for name in sorted(GRAPH_LIBRARY):
+        graph = GRAPH_LIBRARY[name]()
+        if len(graph.nodes()) <= max_nodes:
+            seeds.append(_genome_from_graph(graph))
+    return seeds
+
+
 def _mutate(genome: _Genome, rng: random.Random) -> _Genome:
     specs = list(genome.specs)
     for _ in range(rng.randint(1, 3)):
@@ -577,6 +616,7 @@ def fuzz_conformance(rounds: int = 16, seed: int = 2002,
     """
     rng = random.Random(seed)
     corpus = [_Genome([("input", 0), ("op", "mov", 0, 0)])]
+    corpus.extend(_library_corpus(max_nodes))
     coverage = set()
     mismatches: List[str] = []
     checked = rejected = 0

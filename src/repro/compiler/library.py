@@ -18,6 +18,15 @@ The shapes are deliberately diverse for the mapping-space search:
   channels);
 * ``envelope`` — rectify + smooth envelope follower (the worked example
   from ``examples/dataflow_compiler.py``).
+
+The scenario library (:mod:`repro.kernels`) contributes the rest of the
+catalogue: shift-add CORDIC rotation/vectoring (``cordic4`` /
+``cordic_vec4``), the NCO's parabolic sine shaper (``nco_wave``),
+polyphase 2x/3x resamplers (``up2``/``down2``/``up3``/``down3``), gain
+staging (``vca``/``mixer4``), the chorus voice (``chorus6``) and
+same-cycle complex arithmetic (``cmul4``/``cmag``).  Each is the exact
+graph the corresponding ``*_fabric`` runner executes, so the autotuner
+and fuzzer exercise the shipping recipes, not toys.
 """
 
 from __future__ import annotations
@@ -103,12 +112,40 @@ def envelope() -> DataflowGraph:
     return g
 
 
+def _scenario(module: str, builder: str,
+              *args) -> Callable[[], DataflowGraph]:
+    """Deferred scenario-library builder.
+
+    The kernels package imports the compiler (codegen) at module scope,
+    so the library must import the kernels lazily — at build time the
+    cycle is long resolved.
+    """
+    def build() -> DataflowGraph:
+        import importlib
+        module_obj = importlib.import_module(f"repro.kernels.{module}")
+        return getattr(module_obj, builder)(*args)
+    build.__name__ = builder
+    return build
+
+
 #: name -> builder; the CLI, benchmarks and fuzzer seed corpus index this.
 GRAPH_LIBRARY: Dict[str, Callable[[], DataflowGraph]] = {
     "fir8": fir8,
     "dct4": dct4,
     "cmul": cmul,
     "envelope": envelope,
+    "cordic4": _scenario("cordic", "rotation_graph", 4),
+    "cordic_vec4": _scenario("cordic", "vectoring_graph", 4),
+    "nco_wave": _scenario("nco", "shaper_graph"),
+    "up2": _scenario("resampler", "upsample2_graph"),
+    "down2": _scenario("resampler", "downsample2_graph"),
+    "up3": _scenario("resampler", "upsample3_graph"),
+    "down3": _scenario("resampler", "downsample3_graph"),
+    "vca": _scenario("mixer", "vca_graph"),
+    "mixer4": _scenario("mixer", "mixer_graph"),
+    "chorus6": _scenario("effects", "chorus_graph"),
+    "cmul4": _scenario("complex_ops", "cmul4_graph"),
+    "cmag": _scenario("complex_ops", "cmag_graph"),
 }
 
 

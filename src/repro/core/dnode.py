@@ -156,6 +156,17 @@ class Dnode:
         """Output register value as latched at the previous clock edge."""
         return self._out
 
+    @out.setter
+    def out(self, value: int) -> None:
+        """Seed the output register (host-side state injection).
+
+        Lets a host preload recurrence state — e.g. an NCO phase seed
+        into a ``ADD SELF`` accumulator — before streaming begins, the
+        data-plane analogue of a configuration write.
+        """
+        self._out = word.from_signed(word.to_signed(int(value)))
+        self._out_pending = None
+
     @property
     def global_word(self) -> MicroWord:
         """Microword currently held for global-mode execution."""

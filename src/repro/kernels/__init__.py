@@ -16,6 +16,28 @@ returning both results and cycle counts:
   of Table 1;
 * :mod:`repro.kernels.fifo_emulation` — Dnode-as-FIFO (local mode), one
   of the paper's stand-alone macro-operators.
+
+The DSP scenario library extends the set with audio/modem-style recipes,
+each golden-modelled in :mod:`repro.kernels.reference` and registered in
+the compiler's :data:`~repro.compiler.library.GRAPH_LIBRARY`:
+
+* :mod:`repro.kernels.cordic` — shift-add CORDIC rotation/vectoring
+  (branch-free sign-mask form, no multiplier);
+* :mod:`repro.kernels.nco` — numerically-controlled oscillator: SELF
+  phase accumulator + parabolic sine shaper, or a CORDIC backend;
+* :mod:`repro.kernels.resampler` — polyphase 2x/3x integer up/down
+  resamplers;
+* :mod:`repro.kernels.mixer` — VCA and N-input gain mixer;
+* :mod:`repro.kernels.effects` — chorus voice (feedback-pipeline delays)
+  and recirculating echo through the ring closure;
+* :mod:`repro.kernels.complex_ops` — same-cycle complex multiply and
+  alpha-max-beta-min magnitude;
+* :mod:`repro.kernels.ringmac` — one MAC Dnode time-multiplexed across N
+  client dot-product streams (the RingMAC idiom);
+* :mod:`repro.kernels.scenarios` — full streaming pipelines (synth
+  voice, effects chain) context-switching fabric planes mid-stream;
+* :mod:`repro.kernels.taps` — lane-aware tap reading shared by the
+  hand-mapped kernels (correct on batch/shard rings).
 """
 
 from repro.kernels import reference
@@ -71,6 +93,67 @@ from repro.kernels.fifo_emulation import (
     delay_line,
     plan_delay,
 )
+from repro.kernels.taps import tap_lane0
+from repro.kernels.cordic import (
+    CordicResult,
+    compile_cordic,
+    cordic_rotate_fabric,
+    cordic_vector_fabric,
+    rotation_graph,
+    vectoring_graph,
+)
+from repro.kernels.nco import (
+    NcoResult,
+    build_nco,
+    cordic_backend_graph,
+    nco_fabric,
+    shaper_graph,
+)
+from repro.kernels.resampler import (
+    RESAMPLERS,
+    ResampleResult,
+    downsample2_fabric,
+    downsample2_graph,
+    downsample3_fabric,
+    downsample3_graph,
+    upsample2_fabric,
+    upsample2_graph,
+    upsample3_fabric,
+    upsample3_graph,
+)
+from repro.kernels.mixer import (
+    MIXER4_GAINS,
+    MixResult,
+    mixer_fabric,
+    mixer_graph,
+    vca_fabric,
+    vca_graph,
+)
+from repro.kernels.effects import (
+    EffectResult,
+    build_echo,
+    chorus_fabric,
+    chorus_graph,
+    echo_fabric,
+)
+from repro.kernels.complex_ops import (
+    ComplexResult,
+    cmag_fabric,
+    cmag_graph,
+    cmul4_graph,
+    cmul_fabric,
+)
+from repro.kernels.ringmac import (
+    RingMacResult,
+    build_ringmac,
+    ringmac_fabric,
+    ringmac_program,
+)
+from repro.kernels.scenarios import (
+    ScenarioResult,
+    run_effects_chain,
+    run_synth_voice,
+)
 
 __all__ = [
     "reference",
@@ -112,4 +195,49 @@ __all__ = [
     "build_delay_line",
     "delay_line",
     "plan_delay",
+    "tap_lane0",
+    "CordicResult",
+    "compile_cordic",
+    "cordic_rotate_fabric",
+    "cordic_vector_fabric",
+    "rotation_graph",
+    "vectoring_graph",
+    "NcoResult",
+    "build_nco",
+    "cordic_backend_graph",
+    "nco_fabric",
+    "shaper_graph",
+    "RESAMPLERS",
+    "ResampleResult",
+    "downsample2_fabric",
+    "downsample2_graph",
+    "downsample3_fabric",
+    "downsample3_graph",
+    "upsample2_fabric",
+    "upsample2_graph",
+    "upsample3_fabric",
+    "upsample3_graph",
+    "MIXER4_GAINS",
+    "MixResult",
+    "mixer_fabric",
+    "mixer_graph",
+    "vca_fabric",
+    "vca_graph",
+    "EffectResult",
+    "build_echo",
+    "chorus_fabric",
+    "chorus_graph",
+    "echo_fabric",
+    "ComplexResult",
+    "cmag_fabric",
+    "cmag_graph",
+    "cmul4_graph",
+    "cmul_fabric",
+    "RingMacResult",
+    "build_ringmac",
+    "ringmac_fabric",
+    "ringmac_program",
+    "ScenarioResult",
+    "run_effects_chain",
+    "run_synth_voice",
 ]

@@ -19,6 +19,7 @@ from repro.core.ring import Ring, RingGeometry
 from repro.core.switch import PortSource
 from repro.errors import ConfigurationError
 from repro.host.system import RingSystem
+from repro.kernels.taps import tap_lane0
 
 
 @dataclass
@@ -97,4 +98,4 @@ def delay_line(signal: Sequence[int], depth: int,
     out_layer = plan.dnodes_used - 1
     tap = system.data.add_tap(out_layer, 0, limit=len(samples))
     system.run(len(samples))
-    return [word.to_signed(v) for v in tap.samples]
+    return [word.to_signed(v) for v in tap_lane0(tap)]

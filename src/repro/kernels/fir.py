@@ -28,6 +28,7 @@ from repro.core.dnode import DnodeMode
 from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
 from repro.core.ring import Ring, RingGeometry
 from repro.core.switch import PortSource
+from repro.kernels.taps import tap_lane0
 from repro.errors import ConfigurationError
 from repro.host.system import RingSystem
 
@@ -109,7 +110,7 @@ def spatial_fir(taps: Sequence[int], signal: Sequence[int],
     tap = system.data.add_tap(out_layer, 1, skip=n_taps - 1,
                               limit=len(samples))
     system.run(len(samples) + n_taps)
-    outputs = [word.to_signed(v) for v in tap.samples]
+    outputs = [word.to_signed(v) for v in tap_lane0(tap)]
     return FirResult(
         outputs=outputs,
         cycles=system.cycles,

@@ -25,6 +25,7 @@ from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
 from repro.core.ring import Ring, RingGeometry
 from repro.core.switch import PortSource
 from repro.host.system import RingSystem
+from repro.kernels.taps import tap_lane0
 
 
 @dataclass
@@ -67,7 +68,7 @@ def first_order_iir(signal: Sequence[int], b0: int, a1: int,
     tap = system.data.add_tap(1, 0, skip=1, limit=len(samples))
     system.run(len(samples) + 2)
     return IirResult(
-        outputs=[word.to_signed(v) for v in tap.samples],
+        outputs=[word.to_signed(v) for v in tap_lane0(tap)],
         cycles=system.cycles,
         dnodes_used=2,
     )

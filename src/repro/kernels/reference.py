@@ -239,3 +239,393 @@ def moving_average(signal: Sequence[int], window: int) -> List[int]:
     if window < 1:
         raise SimulationError(f"window must be >= 1, got {window}")
     return fir(signal, [1] * window)
+
+
+# ----------------------------------------------------------------------
+# Scenario library (CORDIC / NCO / resampler / effects / RingMAC)
+#
+# Every function below is the bit-exact spec of one fabric recipe in the
+# DSP scenario library: signed-integer arithmetic with the fabric's
+# 16-bit wrap semantics (see repro.core.alu), no floating point.  The
+# helpers mirror the ALU handlers one for one so each reference stays
+# independent of the fabric implementation it verifies.
+# ----------------------------------------------------------------------
+
+_MASK16 = 0xFFFF
+
+
+def _wrap16(value: int) -> int:
+    """Two's-complement 16-bit wrap of a Python int (signed result)."""
+    return ((int(value) + 0x8000) & _MASK16) - 0x8000
+
+
+def _xor16(a: int, b: int) -> int:
+    """Bitwise XOR on the 16-bit words of two signed values."""
+    return _wrap16((int(a) & _MASK16) ^ (int(b) & _MASK16))
+
+
+def _mulh16(a: int, b: int) -> int:
+    """High 16 bits of the signed 16x16 product (arithmetic shift)."""
+    return (int(a) * int(b)) >> 16
+
+
+def _abs16(a: int) -> int:
+    """|a| with the hardware wrap: |INT16_MIN| stays INT16_MIN."""
+    return _wrap16(abs(int(a)))
+
+
+def _avg16(a: int, b: int) -> int:
+    """Signed average ``(a + b) >> 1`` (17-bit sum, exact)."""
+    return (int(a) + int(b)) >> 1
+
+
+#: Binary-angle arctangent table: ``round(atan(2^-i) / (2*pi) * 2^16)``.
+#: A full turn is 2^16 angle units, so +/-pi is +/-32768 — the wrap of
+#: the 16-bit word IS the wrap of the circle.
+ATAN16 = (8192, 4836, 2555, 1297, 651, 326, 163, 81,
+          41, 20, 10, 5, 3, 1, 1, 0)
+
+#: CORDIC processing gain ``prod sqrt(1 + 2^-2i)`` (float, for the
+#: accuracy property tests — the fabric never computes it).
+CORDIC_GAIN = 1.6467602581210656
+
+
+def cordic_rotate(x: int, y: int, z: int,
+                  iterations: int = 12) -> Tuple[int, int, int]:
+    """Rotation-mode CORDIC: rotate ``(x, y)`` by angle ``z`` (shift-add).
+
+    Angle unit: 2^16 per turn (``ATAN16`` convention).  Each iteration
+    is branch-free — the rotation direction becomes a sign mask
+    ``m = z >> 15`` and conditional negation is ``(v ^ m) - m`` — so the
+    fabric mapping needs no control flow, only ASR/XOR/SUB/ADD.
+    Converges for ``|z| <~ 0.27`` turns; the output magnitude carries
+    the :data:`CORDIC_GAIN` factor.
+    """
+    if not 1 <= iterations <= len(ATAN16):
+        raise SimulationError(
+            f"iterations must be 1..{len(ATAN16)}, got {iterations}")
+    x, y, z = _wrap16(x), _wrap16(y), _wrap16(z)
+    for i in range(iterations):
+        m = z >> 15                      # 0 or -1: the direction mask
+        ex = _wrap16(_xor16(y >> i, m) - m)
+        ey = _wrap16(_xor16(x >> i, m) - m)
+        ez = _wrap16(_xor16(ATAN16[i], m) - m)
+        x, y, z = _wrap16(x - ex), _wrap16(y + ey), _wrap16(z - ez)
+    return x, y, z
+
+
+def cordic_vector(x: int, y: int, z: int = 0,
+                  iterations: int = 12) -> Tuple[int, int, int]:
+    """Vectoring-mode CORDIC: drive ``y`` to 0, accumulating the angle.
+
+    Returns ``(x', y', z')`` where ``x' ~ CORDIC_GAIN * |(x, y)|`` and
+    ``z' ~ z + atan2(y, x)`` in 2^16-per-turn units (for ``x > 0``).
+    The direction mask is ``~(y >> 15)`` — rotate toward the axis.
+    """
+    if not 1 <= iterations <= len(ATAN16):
+        raise SimulationError(
+            f"iterations must be 1..{len(ATAN16)}, got {iterations}")
+    x, y, z = _wrap16(x), _wrap16(y), _wrap16(z)
+    for i in range(iterations):
+        m = _wrap16(~(y >> 15))          # -1 when y >= 0: rotate down
+        ex = _wrap16(_xor16(y >> i, m) - m)
+        ey = _wrap16(_xor16(x >> i, m) - m)
+        ez = _wrap16(_xor16(ATAN16[i], m) - m)
+        x, y, z = _wrap16(x - ex), _wrap16(y + ey), _wrap16(z - ez)
+    return x, y, z
+
+
+def sine_shape(phase: int) -> int:
+    """Parabolic sine of a 16-bit phase word (amplitude ~16380).
+
+    ``sin(pi * p / 32768) ~ 4 p (32767 - |p|) / 2^16`` — one ABS, one
+    SUB, one MULH and one SHL on the fabric; |error| stays under ~6% of
+    full scale (the classic quarter-wave parabola bound).
+    """
+    p = _wrap16(phase)
+    b = _wrap16(32767 - _abs16(p))
+    return _wrap16(_mulh16(p, b) << 2)
+
+
+def nco(fcw: int, length: int, phase: int = 0) -> List[int]:
+    """Numerically controlled oscillator: phase accumulator + sine shaper.
+
+    Cycle *n* outputs ``sine_shape(phase + (n+1)*fcw)`` — the fabric's
+    ``ADD SELF`` accumulator publishes its first sum one cycle in, so
+    the reference starts at ``phase + fcw``, not ``phase``.
+    """
+    if length < 0:
+        raise SimulationError(f"length must be >= 0, got {length}")
+    out = []
+    p = _wrap16(phase)
+    for _ in range(length):
+        p = _wrap16(p + fcw)
+        out.append(sine_shape(p))
+    return out
+
+
+def nco_phases(fcw: int, length: int, phase: int = 0) -> List[int]:
+    """The phase-accumulator stream behind :func:`nco` (for the table
+    backend of the oscillator recipe and the pipeline references)."""
+    out = []
+    p = _wrap16(phase)
+    for _ in range(length):
+        p = _wrap16(p + fcw)
+        out.append(p)
+    return out
+
+
+def vca(signal: Sequence[int], gains: Sequence[int]) -> List[int]:
+    """Voltage-controlled amplifier: ``y = (x * g >> 16) << 1``.
+
+    *gains* is a Q15 control stream (32767 ~ unity); MULH keeps the
+    product exact with no possibility of overflow, the SHL restores
+    unity scale.  Streams shorter than *signal* read 0 (idle port).
+    """
+    out = []
+    for n, x in enumerate(signal):
+        g = int(gains[n]) if n < len(gains) else 0
+        out.append(_wrap16(_mulh16(_wrap16(x), _wrap16(g)) << 1))
+    return out
+
+
+def mix(signals: Sequence[Sequence[int]],
+        gains: Sequence[int]) -> List[int]:
+    """N-input mixer: ``y = sum_i (x_i * g_i >> 16)`` (Q15 gains, wrap).
+
+    The per-channel MULH terms are exact; the accumulation wraps mod
+    2^16 exactly like the fabric's ADD tree.
+    """
+    if len(signals) != len(gains):
+        raise SimulationError(
+            f"{len(signals)} signals vs {len(gains)} gains")
+    length = max((len(s) for s in signals), default=0)
+    out = []
+    for n in range(length):
+        acc = 0
+        for s, g in zip(signals, gains):
+            x = int(s[n]) if n < len(s) else 0
+            acc = _wrap16(acc + _mulh16(_wrap16(x), _wrap16(int(g))))
+        out.append(acc)
+    return out
+
+
+#: Half-band interpolator weights of the 2x polyphase resampler:
+#: ``odd = (9*(x[n-1] + x[n-2]) - (x[n] + x[n-3]) + 8) >> 4``.
+HALFBAND_TAPS = (-1, 9, 9, -1)
+
+
+def upsample2(signal: Sequence[int]) -> List[int]:
+    """2x polyphase upsampler (half-band): even phase is the delayed
+    input, odd phase the 4-tap interpolator.  Returns ``2 * len`` words,
+    phases interleaved; all arithmetic wraps mod 2^16 like the fabric.
+    """
+    x = [_wrap16(v) for v in signal]
+
+    def at(i: int) -> int:
+        return x[i] if 0 <= i < len(x) else 0
+
+    out = []
+    for n in range(len(x)):
+        even = at(n - 1)
+        s1 = _wrap16(at(n - 1) + at(n - 2))
+        s2 = _wrap16(at(n) + at(n - 3))
+        t = _wrap16(_wrap16(9 * s1) - s2)
+        odd = _wrap16(t + 8) >> 4
+        out.append(even)
+        out.append(odd)
+    return out
+
+
+def downsample2(signal: Sequence[int]) -> List[int]:
+    """2x decimator: triangle anti-alias filter, keep every other sample.
+
+    Full-rate ``y[n] = (x[n] + 2 x[n-1] + x[n-2] + 2) >> 2`` decimated
+    on the odd phase (each output consumes two fresh input samples).
+    """
+    x = [_wrap16(v) for v in signal]
+
+    def at(i: int) -> int:
+        return x[i] if 0 <= i < len(x) else 0
+
+    full = []
+    for n in range(len(x)):
+        t = _wrap16(_wrap16(at(n) + at(n - 2)) + _wrap16(at(n - 1) << 1))
+        full.append(_wrap16(t + 2) >> 2)
+    return full[1::2]
+
+
+#: Q8 interpolation weights of the 3x resampler phases (sum 256).
+THIRD_TAPS = (85, 171)
+
+
+def upsample3(signal: Sequence[int]) -> List[int]:
+    """3x polyphase upsampler: linear interpolation at thirds (Q8)."""
+    x = [_wrap16(v) for v in signal]
+
+    def at(i: int) -> int:
+        return x[i] if 0 <= i < len(x) else 0
+
+    out = []
+    for n in range(len(x)):
+        a, b = at(n - 1), at(n - 2)
+        out.append(a)
+        p1 = _wrap16(_wrap16(_wrap16(171 * a) + _wrap16(85 * b)) + 128)
+        out.append(p1 >> 8)
+        p2 = _wrap16(_wrap16(_wrap16(85 * a) + _wrap16(171 * b)) + 128)
+        out.append(p2 >> 8)
+    return out
+
+
+def downsample3(signal: Sequence[int]) -> List[int]:
+    """3x decimator: Q8 triangle filter, keep every third sample."""
+    x = [_wrap16(v) for v in signal]
+
+    def at(i: int) -> int:
+        return x[i] if 0 <= i < len(x) else 0
+
+    full = []
+    for n in range(len(x)):
+        t = _wrap16(_wrap16(85 * _wrap16(at(n) + at(n - 2)))
+                    + _wrap16(86 * at(n - 1)))
+        full.append(_wrap16(t + 128) >> 8)
+    return full[2::3]
+
+
+def chorus(signal: Sequence[int], depth: int = 6) -> List[int]:
+    """Chorus voice: ``y = (x[n] + x[n-depth]) >> 1`` (signed average)."""
+    if depth < 1:
+        raise SimulationError(f"depth must be >= 1, got {depth}")
+    x = [_wrap16(v) for v in signal]
+    return [_avg16(x[n], x[n - depth] if n >= depth else 0)
+            for n in range(len(x))]
+
+
+def echo(signal: Sequence[int], delay: int, gain: int) -> List[int]:
+    """Feedback echo: ``y[n] = x[n] + (y[n-delay] * gain >> 16)``.
+
+    *gain* is Q16 (32767 ~ 0.5 feedback); the recursion wraps mod 2^16
+    exactly like the fabric's ADD.  This is the spec of the ring-FIFO
+    feedback loop — *delay* equals the loop length in fabric cycles.
+    """
+    if delay < 1:
+        raise SimulationError(f"delay must be >= 1, got {delay}")
+    out: List[int] = []
+    for n, v in enumerate(signal):
+        back = out[n - delay] if n >= delay else 0
+        out.append(_wrap16(_wrap16(v) + _mulh16(back, _wrap16(gain))))
+    return out
+
+
+def complex_multiply(re_a: Sequence[int], im_a: Sequence[int],
+                     re_b: Sequence[int], im_b: Sequence[int],
+                     ) -> Tuple[List[int], List[int]]:
+    """Streamed complex multiply with the fabric's MUL-low wrap.
+
+    ``re = a*c - b*d``, ``im = a*d + b*c`` — every product keeps the low
+    16 bits (signed wrap), every sum wraps, exactly like a MUL/SUB/ADD
+    tree on the fabric.  INT16-boundary behaviour is part of the spec.
+    """
+    length = len(re_a)
+    if not (len(im_a) == len(re_b) == len(im_b) == length):
+        raise SimulationError("complex streams must share one length")
+    re_out, im_out = [], []
+    for a, b, c, d in zip(re_a, im_a, re_b, im_b):
+        a, b, c, d = (_wrap16(a), _wrap16(b), _wrap16(c), _wrap16(d))
+        re_out.append(_wrap16(_wrap16(a * c) - _wrap16(b * d)))
+        im_out.append(_wrap16(_wrap16(a * d) + _wrap16(b * c)))
+    return re_out, im_out
+
+
+def complex_magnitude(re: Sequence[int], im: Sequence[int]) -> List[int]:
+    """Alpha-max-beta-min magnitude: ``max(|re|,|im|) + min(...) >> 1``.
+
+    Multiplier-free (ABS/MAX/MIN/ASR/ADD); worst-case ~12% high, the
+    classic estimator bound tested by the accuracy properties.
+    """
+    if len(re) != len(im):
+        raise SimulationError("re/im streams must share one length")
+    out = []
+    for a, b in zip(re, im):
+        ma, mb = _abs16(a), _abs16(b)
+        hi, lo = max(ma, mb), min(ma, mb)
+        out.append(_wrap16(hi + (lo >> 1)))
+    return out
+
+
+def ringmac(a_streams: Sequence[Sequence[int]],
+            b_streams: Sequence[Sequence[int]],
+            ) -> List[List[int]]:
+    """N clients time-multiplexing one MAC: running dot products.
+
+    Client *c*'s stream of partial sums ``acc_c[n] = sum_{k<=n}
+    a_c[k]*b_c[k]`` (wrapping MAC) — the tiliqua RingMAC idiom where one
+    multiply-accumulate unit serves every client at 1 MAC/cycle, each
+    request tagged by its time slot.
+    """
+    if len(a_streams) != len(b_streams):
+        raise SimulationError(
+            f"{len(a_streams)} a-streams vs {len(b_streams)} b-streams")
+    results = []
+    for a_s, b_s in zip(a_streams, b_streams):
+        if len(a_s) != len(b_s):
+            raise SimulationError("client streams must share one length")
+        acc, sums = 0, []
+        for a, b in zip(a_s, b_s):
+            acc = _wrap16(_wrap16(a) * _wrap16(b) + acc)
+            sums.append(acc)
+        results.append(sums)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Streaming-pipeline references (synth voice, effects chain)
+# ----------------------------------------------------------------------
+
+
+def synth_voice_dry(envelope: Sequence[int], fcw_a: int, fcw_b: int,
+                    ) -> List[int]:
+    """The polyphonic voice plane of the synth pipeline, cycle-exact.
+
+    Models the 13-layer fabric configuration stage by stage: two NCO
+    voices (phase accumulator + :func:`sine_shape`), an AVG2 mixer and a
+    MULH VCA driven by the host *envelope* stream.  Output sample *u*
+    (one per fabric cycle, zeros while the pipeline fills) is::
+
+        y[u] = (mulh(avg2(shape(pB[u-7]), shape(pA[u-12])),
+                     env[u-1]) << 1)
+
+    with ``pX[v] = (v+1)*fcw_x`` for ``v >= 0`` else 0 — exactly what
+    the plane computes, pipeline-fill zeros included.
+    """
+    def phase(fcw: int, v: int) -> int:
+        return _wrap16(fcw * (v + 1)) if v >= 0 else 0
+
+    def env(v: int) -> int:
+        return _wrap16(envelope[v]) if 0 <= v < len(envelope) else 0
+
+    out = []
+    for u in range(len(envelope)):
+        mixed = _avg16(sine_shape(phase(fcw_b, u - 7)),
+                       sine_shape(phase(fcw_a, u - 12)))
+        out.append(_wrap16(_mulh16(mixed, env(u - 1)) << 1))
+    return out
+
+
+#: Cycles the synth voice plane takes from phase word to output tap.
+SYNTH_VOICE_LATENCY = 13
+
+
+def synth_voice_pipeline(envelope: Sequence[int], fcw_a: int, fcw_b: int,
+                         echo_delay: int, echo_gain: int) -> List[int]:
+    """Golden model of the full synth pipeline: voices -> VCA -> echo."""
+    return echo(synth_voice_dry(envelope, fcw_a, fcw_b),
+                echo_delay, echo_gain)
+
+
+def effects_chain_pipeline(signal: Sequence[int], depth: int,
+                           master_gain: int, echo_delay: int,
+                           echo_gain: int) -> List[int]:
+    """Golden model of the effects chain: chorus -> VCA -> echo."""
+    wet = vca(chorus(signal, depth), [master_gain] * len(signal))
+    return echo(wet, echo_delay, echo_gain)

@@ -1,0 +1,145 @@
+"""Polyphase integer resamplers: 2x/3x up and down conversion.
+
+Sample-rate conversion as compilable dataflow graphs, one polyphase
+branch per output node:
+
+* **2x up** — half-band interpolator: even phase is the delayed input
+  (exact), odd phase the 4-tap ``(-1, 9, 9, -1)/16`` kernel (DC-exact:
+  a constant input reconstructs bit-perfectly);
+* **2x down** — triangle ``(1, 2, 1)/4`` anti-alias filter decimated on
+  the odd phase;
+* **3x up / 3x down** — Q8 linear-interpolation thirds
+  (``85/171/256``) and the ``(85, 86, 85)/256`` decimator.
+
+Each graph streams one *input* sample per cycle; the host interleaves
+(upsamplers) or decimates (downsamplers, tap ``every=``) the phase
+outputs.  All arithmetic wraps mod 2^16 exactly like the golden models
+in :mod:`repro.kernels.reference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.compiler.codegen import compile_graph
+from repro.compiler.graph import CompileError, DataflowGraph
+from repro.core.ring import Ring
+
+
+@dataclass
+class ResampleResult:
+    """Outcome of a fabric resampling run."""
+
+    samples: List[int]
+    factor: str
+    dnodes_used: int
+    latency: int
+
+
+def upsample2_graph() -> DataflowGraph:
+    """Half-band 2x interpolator: outputs are the even/odd phases."""
+    g = DataflowGraph()
+    x = g.input(0)
+    d1, d2, d3 = g.delay(x, 1), g.delay(x, 2), g.delay(x, 3)
+    g.output(g.op("mov", d1))                      # even: x[n-1]
+    s1 = g.op("add", d1, d2)
+    s2 = g.op("add", x, d3)
+    t = g.op("sub", g.op("mul", s1, g.const(9)), s2)
+    g.output(g.op("asr", g.op("add", t, g.const(8)), g.const(4)))
+    return g
+
+
+def downsample2_graph() -> DataflowGraph:
+    """Triangle 2x decimator at full rate (host keeps the odd phase)."""
+    g = DataflowGraph()
+    x = g.input(0)
+    d1, d2 = g.delay(x, 1), g.delay(x, 2)
+    t = g.op("add", g.op("add", x, d2), g.op("shl", d1, g.const(1)))
+    g.output(g.op("asr", g.op("add", t, g.const(2)), g.const(2)))
+    return g
+
+
+def upsample3_graph() -> DataflowGraph:
+    """Q8 linear 3x interpolator: three phase outputs per input sample."""
+    g = DataflowGraph()
+    x = g.input(0)
+    d1, d2 = g.delay(x, 1), g.delay(x, 2)
+    g.output(g.op("mov", d1))                      # phase 0: x[n-1]
+    for wa, wb in ((171, 85), (85, 171)):
+        s = g.op("add", g.op("mul", d1, g.const(wa)),
+                 g.op("mul", d2, g.const(wb)))
+        g.output(g.op("asr", g.op("add", s, g.const(128)), g.const(8)))
+    return g
+
+
+def downsample3_graph() -> DataflowGraph:
+    """Q8 3x decimator at full rate (host keeps every third sample)."""
+    g = DataflowGraph()
+    x = g.input(0)
+    d1, d2 = g.delay(x, 1), g.delay(x, 2)
+    t = g.op("add", g.op("mul", g.op("add", x, d2), g.const(85)),
+             g.op("mul", d1, g.const(86)))
+    g.output(g.op("asr", g.op("add", t, g.const(128)), g.const(8)))
+    return g
+
+
+def _run_graph(graph: DataflowGraph, signal: Sequence[int],
+               ring: Optional[Ring], compile_kwargs: dict):
+    program = compile_graph(graph, **compile_kwargs)
+    outs = program.run(list(signal), ring=ring)
+    return program, [outs[node] for node in graph.outputs]
+
+
+def upsample2_fabric(signal: Sequence[int], ring: Optional[Ring] = None,
+                     **compile_kwargs) -> ResampleResult:
+    """2x upsample a stream; bit-exact against ``reference.upsample2``."""
+    program, (even, odd) = _run_graph(upsample2_graph(), signal, ring,
+                                      compile_kwargs)
+    interleaved = [v for pair in zip(even, odd) for v in pair]
+    return ResampleResult(samples=interleaved, factor="up2",
+                          dnodes_used=program.dnodes_used,
+                          latency=program.latency)
+
+
+def downsample2_fabric(signal: Sequence[int],
+                       ring: Optional[Ring] = None,
+                       **compile_kwargs) -> ResampleResult:
+    """2x decimate a stream; bit-exact against ``reference.downsample2``."""
+    program, (full,) = _run_graph(downsample2_graph(), signal, ring,
+                                  compile_kwargs)
+    return ResampleResult(samples=full[1::2], factor="down2",
+                          dnodes_used=program.dnodes_used,
+                          latency=program.latency)
+
+
+def upsample3_fabric(signal: Sequence[int], ring: Optional[Ring] = None,
+                     **compile_kwargs) -> ResampleResult:
+    """3x upsample a stream; bit-exact against ``reference.upsample3``."""
+    program, (p0, p1, p2) = _run_graph(upsample3_graph(), signal, ring,
+                                       compile_kwargs)
+    interleaved = [v for triple in zip(p0, p1, p2) for v in triple]
+    return ResampleResult(samples=interleaved, factor="up3",
+                          dnodes_used=program.dnodes_used,
+                          latency=program.latency)
+
+
+def downsample3_fabric(signal: Sequence[int],
+                       ring: Optional[Ring] = None,
+                       **compile_kwargs) -> ResampleResult:
+    """3x decimate a stream; bit-exact against ``reference.downsample3``."""
+    program, (full,) = _run_graph(downsample3_graph(), signal, ring,
+                                  compile_kwargs)
+    return ResampleResult(samples=full[2::3], factor="down3",
+                          dnodes_used=program.dnodes_used,
+                          latency=program.latency)
+
+
+#: factor name -> (graph builder, fabric runner); the scenario benchmark
+#: and tests iterate this.
+RESAMPLERS = {
+    "up2": (upsample2_graph, upsample2_fabric),
+    "down2": (downsample2_graph, downsample2_fabric),
+    "up3": (upsample3_graph, upsample3_fabric),
+    "down3": (downsample3_graph, downsample3_fabric),
+}

@@ -1,0 +1,128 @@
+"""RingMAC: N client streams time-multiplexing one MAC Dnode.
+
+The tiliqua ``RingMAC`` idiom (SNIPPETS.md) mapped onto the systolic
+ring: a single multiply-accumulate server Dnode serves N independent
+client dot products, one MAC per cycle, each request identified by its
+time slot on the ring rather than by a tag word.
+
+Layer 0 is the transport — two MOV relays carrying the interleaved
+operand words (client ``t % N`` owns word ``t``) from host channels 0/1.
+Layer 1 is the server: a local-mode program whose slot *s* accumulates
+into the register of the client whose word arrives that cycle.  The
+relay adds one cycle of transport latency and the local sequencer starts
+at slot 0 on cycle 0, so slot *s* serves client ``(s - 1) mod N``; the
+first server cycle consumes the switch's reset value (a harmless
+``0 * 0`` into the last client's accumulator).
+
+Each client's running partial sums appear time-multiplexed on the
+server's OUT (``WRITE_OUT``), so a host tap with ``every=N`` recovers
+any client's dot-product stream — bit-exact against
+:func:`repro.kernels.reference.ringmac`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import word
+from repro.core.dnode import DnodeMode
+from repro.core.isa import Dest, Flag, MicroWord, Opcode, Source
+from repro.core.ring import Ring, RingGeometry
+from repro.core.switch import PortSource
+from repro.host.system import RingSystem
+from repro.kernels.taps import tap_lane0
+
+#: The most clients one server can carry: one accumulator register each.
+MAX_CLIENTS = 4
+
+#: Fabric cycles from a host word to its MAC commit (relay + server).
+RINGMAC_LATENCY = 2
+
+
+@dataclass
+class RingMacResult:
+    """Outcome of a RingMAC run: per-client partial-sum streams."""
+
+    partials: List[List[int]]
+    totals: List[int]
+    clients: int
+    cycles: int
+    dnodes_used: int
+
+
+def ringmac_program(clients: int) -> List[MicroWord]:
+    """The server's local program: slot *s* MACs client ``(s-1) % N``."""
+    if not 1 <= clients <= MAX_CLIENTS:
+        raise ValueError(
+            f"clients must be 1..{MAX_CLIENTS}, got {clients}")
+    return [
+        MicroWord(Opcode.MAC, Source.IN1, Source.IN2,
+                  Dest[f"R{(slot - 1) % clients}"],
+                  flags=Flag.WRITE_OUT)
+        for slot in range(clients)
+    ]
+
+
+def build_ringmac(clients: int, ring: Optional[Ring] = None,
+                  server_layer: int = 1) -> RingSystem:
+    """Configure the relay + server pair for *clients* client streams."""
+    if ring is None:
+        ring = Ring(RingGeometry(layers=max(server_layer + 1, 2),
+                                 width=2))
+    relay = server_layer - 1
+    if relay < 0 or server_layer >= ring.geometry.layers:
+        raise ValueError(f"server layer {server_layer} needs a relay "
+                         f"layer above it inside the ring")
+    cfg = ring.config
+    cfg.write_switch_route(relay, 0, 1, PortSource.host(0))
+    cfg.write_microword(relay, 0, MicroWord(Opcode.MOV, Source.IN1,
+                                            dst=Dest.OUT))
+    cfg.write_switch_route(relay, 1, 1, PortSource.host(1))
+    cfg.write_microword(relay, 1, MicroWord(Opcode.MOV, Source.IN1,
+                                            dst=Dest.OUT))
+    cfg.write_switch_route(server_layer, 0, 1, PortSource.up(0))
+    cfg.write_switch_route(server_layer, 0, 2, PortSource.up(1))
+    cfg.write_local_program(server_layer, 0, ringmac_program(clients))
+    cfg.write_mode(server_layer, 0, DnodeMode.LOCAL)
+    return RingSystem(ring)
+
+
+def ringmac_fabric(a_streams: Sequence[Sequence[int]],
+                   b_streams: Sequence[Sequence[int]],
+                   ring: Optional[Ring] = None,
+                   server_layer: int = 1) -> RingMacResult:
+    """Run N client dot products through one MAC server.
+
+    ``a_streams[c][k] * b_streams[c][k]`` accumulates (wrapping) into
+    client *c*'s register; the returned ``partials[c]`` is the running
+    sum after each term — bit-exact against
+    :func:`repro.kernels.reference.ringmac`.
+    """
+    clients = len(a_streams)
+    if clients != len(b_streams):
+        raise ValueError(f"{clients} a-streams vs "
+                         f"{len(b_streams)} b-streams")
+    lengths = {len(s) for s in list(a_streams) + list(b_streams)}
+    if len(lengths) != 1:
+        raise ValueError("all client streams must share one length")
+    (length,) = lengths
+    system = build_ringmac(clients, ring=ring, server_layer=server_layer)
+    a_words = [word.from_signed(int(a_streams[t % clients][t // clients]))
+               for t in range(clients * length)]
+    b_words = [word.from_signed(int(b_streams[t % clients][t // clients]))
+               for t in range(clients * length)]
+    system.data.stream(0, a_words)
+    system.data.stream(1, b_words)
+    taps = [system.data.add_tap(server_layer, 0,
+                                skip=c + RINGMAC_LATENCY - 1,
+                                every=clients, limit=length)
+            for c in range(clients)]
+    system.run(clients * length + RINGMAC_LATENCY)
+    partials = [[word.to_signed(v) for v in tap_lane0(tap)]
+                for tap in taps]
+    return RingMacResult(
+        partials=partials,
+        totals=[p[-1] if p else 0 for p in partials],
+        clients=clients, cycles=system.cycles,
+        dnodes_used=3)

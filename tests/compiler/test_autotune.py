@@ -224,7 +224,10 @@ class TestCompileGraphIntegration:
 
 class TestLibrary:
     def test_catalogue(self):
-        assert set(GRAPH_LIBRARY) == {"fir8", "dct4", "cmul", "envelope"}
+        assert {"fir8", "dct4", "cmul", "envelope"} <= set(GRAPH_LIBRARY)
+        assert {"cordic4", "cordic_vec4", "nco_wave", "up2", "down2",
+                "up3", "down3", "vca", "mixer4", "chorus6", "cmul4",
+                "cmag"} <= set(GRAPH_LIBRARY)
 
     def test_unknown_name_raises(self):
         with pytest.raises(CompileError):
@@ -387,3 +390,58 @@ class TestFarmSubmitGraph:
         _, outputs = self._run(scenario())
         assert outputs == graph.evaluate(streams)
         assert STATS.searches == 0
+
+
+class TestScenarioRecipeTuning:
+    """The scenario library feeds the autopilot: directed speedup +
+    memoization cases on the new recipes, and the fuzz corpus seeded
+    from :data:`GRAPH_LIBRARY`."""
+
+    @pytest.mark.parametrize("name", ["mixer4", "up2"])
+    def test_finds_fast_mapping_and_memoizes(self, name):
+        graph = build_graph(name)
+        result = autotune_graph(graph, **FAST)
+        assert not result.cache_hit
+        # The macro/native engine variants leave the per-cycle default
+        # far behind on these shallow streaming graphs.
+        assert result.speedup >= 1.5
+        # Winner reproduced the golden evaluator before being adopted.
+        streams = library_streams(graph, 10)
+        assert result.program.run(streams) == graph.evaluate(streams)
+        # A repeat submission of a fresh but identical graph is a memo
+        # hit with the identical winning mapping.
+        again = autotune_graph(build_graph(name), **FAST)
+        assert again.cache_hit
+        assert again.mapping == result.mapping
+        assert STATS.searches == 2 and STATS.cache_hits == 1
+
+    def test_scenario_graphs_registered(self):
+        for name in ("cordic4", "cordic_vec4", "nco_wave", "up2",
+                     "down2", "up3", "down3", "vca", "mixer4",
+                     "chorus6", "cmul4", "cmag"):
+            graph = build_graph(name)
+            streams = library_streams(graph, 6)
+            assert graph.evaluate(streams)
+
+    def test_fuzz_corpus_seeded_from_library(self):
+        from repro.compiler.autotune import (_genome_from_graph,
+                                             _library_corpus)
+
+        seeds = _library_corpus(max_nodes=28)
+        # Every small library recipe contributes one genome; the CORDIC
+        # unrolls (>28 nodes) are skipped by design.
+        assert len(seeds) >= 10
+        for genome in seeds:
+            graph = genome.build()
+            assert len(graph.nodes()) <= 28
+            graph.evaluate(library_streams(graph, 4))
+        # Round trip: a re-expressed graph preserves node structure.
+        original = build_graph("up2")
+        rebuilt = _genome_from_graph(original).build()
+        assert [(n.kind, n.op) for n in rebuilt.nodes()] == \
+            [(n.kind, n.op) for n in original.nodes()]
+
+    def test_fuzz_campaign_with_seeded_corpus_is_green(self):
+        report = fuzz_conformance(rounds=6, seed=11, samples=8)
+        assert report.ok, report.mismatches
+        assert report.corpus_size >= 14

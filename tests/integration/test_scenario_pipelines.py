@@ -1,0 +1,171 @@
+"""Context-switched streaming pipelines, end to end.
+
+The scenario pipelines time-multiplex one fabric between two
+configuration planes mid-stream (synth voice <-> echo, chorus <-> echo).
+These tests pin the three claims the scenario layer makes:
+
+* the wet output is **bit-exact** against the whole-stream golden models
+  regardless of chunking, and identical whether the host advances
+  cycle-by-cycle or in bulk bursts;
+* after the first A/B round, plane switching is **free of interpretation**
+  — the plan cache re-adopts each plane by configuration fingerprint
+  with zero interpreted cycles and zero recompiles;
+* the pipelines run bit-identical on every execution engine, and leave
+  the fabric in the interpreter twin's exact architectural state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ring import Ring
+from tests.kernels.conftest import ENGINES
+from repro.kernels import reference
+from repro.kernels.scenarios import (EFFECTS_CHORUS_DEPTH,
+                                     EFFECTS_GEOMETRY, SYNTH_GEOMETRY,
+                                     run_effects_chain, run_synth_voice)
+
+from tests.kernels.conftest import fabric_state, make_ring
+
+
+@pytest.fixture(params=sorted(ENGINES))
+def engine(request):
+    return request.param, dict(ENGINES[request.param])
+
+
+ENVELOPE = ([min(32767, 700 * n) for n in range(48)] +
+            [max(0, 32767 - 1100 * n) for n in range(48)])
+SIGNAL = [((7 * n + 11) % 120) - 60 for n in range(96)]
+
+FCW_A, FCW_B = 1400, 1750
+ECHO_GAIN = 22000
+MASTER_GAIN = 26000
+
+SYNTH_GOLDEN = reference.synth_voice_pipeline(
+    ENVELOPE, FCW_A, FCW_B, SYNTH_GEOMETRY.layers, ECHO_GAIN)
+EFFECTS_GOLDEN = reference.effects_chain_pipeline(
+    SIGNAL, EFFECTS_CHORUS_DEPTH, MASTER_GAIN, EFFECTS_GEOMETRY.layers,
+    ECHO_GAIN)
+
+
+class TestSynthVoicePipeline:
+    def test_bit_exact_against_golden(self):
+        result = run_synth_voice(ENVELOPE, FCW_A, FCW_B, ECHO_GAIN,
+                                 chunk=32)
+        assert result.outputs == SYNTH_GOLDEN
+        assert result.stage_outputs == reference.synth_voice_dry(
+            ENVELOPE, FCW_A, FCW_B)
+
+    @pytest.mark.parametrize("chunk", [16, 24, 32, 96])
+    def test_chunking_invariant(self, chunk):
+        result = run_synth_voice(ENVELOPE, FCW_A, FCW_B, ECHO_GAIN,
+                                 chunk=chunk)
+        assert result.outputs == SYNTH_GOLDEN
+        assert result.switches == 2 * (len(ENVELOPE) // chunk)
+
+    def test_per_cycle_identical_to_bulk(self):
+        bulk = run_synth_voice(ENVELOPE, FCW_A, FCW_B, ECHO_GAIN,
+                               chunk=24)
+        stepped = run_synth_voice(ENVELOPE, FCW_A, FCW_B, ECHO_GAIN,
+                                  chunk=24, per_cycle=True)
+        assert stepped.outputs == bulk.outputs
+        assert stepped.stage_outputs == bulk.stage_outputs
+        assert stepped.cycles == bulk.cycles
+
+
+class TestEffectsChainPipeline:
+    def test_bit_exact_against_golden(self):
+        result = run_effects_chain(SIGNAL, MASTER_GAIN, ECHO_GAIN,
+                                   chunk=32)
+        assert result.outputs == EFFECTS_GOLDEN
+        assert result.stage_outputs == reference.vca(
+            reference.chorus(SIGNAL, EFFECTS_CHORUS_DEPTH),
+            [MASTER_GAIN] * len(SIGNAL))
+
+    @pytest.mark.parametrize("chunk", [16, 32, 48, 96])
+    def test_chunking_invariant(self, chunk):
+        result = run_effects_chain(SIGNAL, MASTER_GAIN, ECHO_GAIN,
+                                   chunk=chunk)
+        assert result.outputs == EFFECTS_GOLDEN
+
+    def test_per_cycle_identical_to_bulk(self):
+        bulk = run_effects_chain(SIGNAL, MASTER_GAIN, ECHO_GAIN,
+                                 chunk=32)
+        stepped = run_effects_chain(SIGNAL, MASTER_GAIN, ECHO_GAIN,
+                                    chunk=32, per_cycle=True)
+        assert stepped.outputs == bulk.outputs
+        assert stepped.cycles == bulk.cycles
+
+
+class TestReconfigurationChurn:
+    """A/B/A plane switching re-adopts cached plans, zero interpretation."""
+
+    def test_synth_voice_plan_readoption(self):
+        ring = Ring(SYNTH_GEOMETRY)
+        result = run_synth_voice(ENVELOPE, FCW_A, FCW_B, ECHO_GAIN,
+                                 chunk=16, ring=ring)
+        rounds = len(ENVELOPE) // 16
+        assert result.switches == 2 * rounds
+        # One compile per plane on the first round; every later
+        # apply_plane re-adopts from the cache by fingerprint.
+        assert result.plan_compiles == 2
+        assert result.plan_hits == 2 * rounds - 2
+
+    def test_effects_chain_plan_readoption(self):
+        ring = Ring(EFFECTS_GEOMETRY)
+        result = run_effects_chain(SIGNAL, MASTER_GAIN, ECHO_GAIN,
+                                   chunk=24, ring=ring)
+        rounds = len(SIGNAL) // 24
+        assert result.plan_compiles == 2
+        assert result.plan_hits == 2 * rounds - 2
+
+    def test_steady_state_has_zero_interpreted_cycles(self):
+        ring = Ring(SYNTH_GEOMETRY)
+        # Warm both planes (first A/B round compiles them).
+        run_synth_voice(ENVELOPE[:32], FCW_A, FCW_B, ECHO_GAIN,
+                        chunk=32, ring=ring)
+        with ring.profile() as prof:
+            run_synth_voice(ENVELOPE, FCW_A, FCW_B, ECHO_GAIN,
+                            chunk=32, ring=ring)
+        assert prof.interpreted_cycles == 0
+        assert prof.plan_compiles == 0
+
+    def test_aba_stream_matches_unchunked_golden(self):
+        # The A/B/A pattern with the smallest legal chunk is the
+        # harshest churn; outputs must still be the whole-stream golden.
+        result = run_effects_chain(SIGNAL, MASTER_GAIN, ECHO_GAIN,
+                                   chunk=16)
+        assert result.outputs == EFFECTS_GOLDEN
+        assert result.switches == 2 * (len(SIGNAL) // 16)
+
+
+class TestPipelineEngineMatrix:
+    """Both pipelines, every engine, vs interpreter twin state."""
+
+    def test_synth_voice_cross_engine(self, engine):
+        name, kwargs = engine
+        ring = make_ring(SYNTH_GEOMETRY, kwargs)
+        result = run_synth_voice(ENVELOPE[:48], FCW_A, FCW_B, ECHO_GAIN,
+                                 chunk=16, ring=ring)
+        twin = make_ring(SYNTH_GEOMETRY, {"fastpath": False})
+        want = run_synth_voice(ENVELOPE[:48], FCW_A, FCW_B, ECHO_GAIN,
+                               chunk=16, ring=twin)
+        assert result.outputs == want.outputs, (
+            f"{name} diverged from interpreter")
+        assert result.outputs == SYNTH_GOLDEN[:48]
+        assert fabric_state(ring) == fabric_state(twin)
+
+    def test_effects_chain_cross_engine(self, engine):
+        name, kwargs = engine
+        ring = make_ring(EFFECTS_GEOMETRY, kwargs)
+        result = run_effects_chain(SIGNAL[:48], MASTER_GAIN, ECHO_GAIN,
+                                   chunk=16, ring=ring)
+        twin = make_ring(EFFECTS_GEOMETRY, {"fastpath": False})
+        want = run_effects_chain(SIGNAL[:48], MASTER_GAIN, ECHO_GAIN,
+                                 chunk=16, ring=twin)
+        assert result.outputs == want.outputs, (
+            f"{name} diverged from interpreter")
+        assert result.outputs == reference.effects_chain_pipeline(
+            SIGNAL[:48], EFFECTS_CHORUS_DEPTH, MASTER_GAIN,
+            EFFECTS_GEOMETRY.layers, ECHO_GAIN)
+        assert fabric_state(ring) == fabric_state(twin)

@@ -17,12 +17,21 @@ model).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro import word
+from repro.compiler.codegen import compile_graph
 from repro.core.ring import RingGeometry
 from repro.host.system import RingSystem
 from repro.kernels import reference
+from repro.kernels.complex_ops import cmag_graph, cmul4_graph
+from repro.kernels.cordic import rotation_graph, vectoring_graph
 from repro.kernels.dct import build_dct_system, dct8_reference
+from repro.kernels.effects import chorus_fabric, chorus_graph, echo_fabric
+from repro.kernels.mixer import mixer_graph, vca_graph
+from repro.kernels.nco import NCO_LAYERS, nco_fabric
+from repro.kernels.resampler import RESAMPLERS
+from repro.kernels.ringmac import ringmac_fabric
 from repro.kernels.fifo_emulation import build_delay_line, plan_delay
 from repro.kernels.fir import build_spatial_fir
 from repro.kernels.iir import build_first_order_iir
@@ -224,3 +233,223 @@ class TestFifoEmulationConformance:
         got = _matrix_cell(self._drive, engine)
         signal = _signal(self.LENGTH)
         assert got == [0] * self.DEPTH + signal[:self.LENGTH - self.DEPTH]
+
+
+# -- scenario-library rows ---------------------------------------------
+
+def _compiled_drive(graph, streams, engine_kwargs):
+    """Drive a compiled graph on a ring of the engine under test."""
+    program = compile_graph(graph)
+    ring = make_ring(program.geometry, engine_kwargs)
+    outs = program.run(streams, ring=ring)
+    return [outs[node] for node in graph.outputs], ring
+
+
+class TestCordicRotateConformance:
+    ITERATIONS = 4
+    LENGTH = 12
+
+    def _streams(self):
+        return {0: _signal(self.LENGTH, spread=9000, stride=997),
+                1: _signal(self.LENGTH, spread=9000, stride=641),
+                2: _signal(self.LENGTH, spread=8192, stride=1303)}
+
+    def _drive(self, engine_kwargs):
+        return _compiled_drive(rotation_graph(self.ITERATIONS),
+                               self._streams(), engine_kwargs)
+
+    def test_matches_reference(self, engine):
+        xo, yo, zo = _matrix_cell(self._drive, engine)
+        s = self._streams()
+        want = [reference.cordic_rotate(x, y, z, self.ITERATIONS)
+                for x, y, z in zip(s[0], s[1], s[2])]
+        assert (xo, yo, zo) == tuple(map(list, zip(*want)))
+
+
+class TestCordicVectorConformance:
+    ITERATIONS = 4
+    LENGTH = 12
+
+    def _streams(self):
+        return {0: _signal(self.LENGTH, spread=9000, stride=733),
+                1: _signal(self.LENGTH, spread=9000, stride=389),
+                2: [0] * self.LENGTH}
+
+    def _drive(self, engine_kwargs):
+        return _compiled_drive(vectoring_graph(self.ITERATIONS),
+                               self._streams(), engine_kwargs)
+
+    def test_matches_reference(self, engine):
+        xo, yo, zo = _matrix_cell(self._drive, engine)
+        s = self._streams()
+        want = [reference.cordic_vector(x, y, z, self.ITERATIONS)
+                for x, y, z in zip(s[0], s[1], s[2])]
+        assert (xo, yo, zo) == tuple(map(list, zip(*want)))
+
+
+class TestNcoConformance:
+    """Hand-mapped phase accumulator + shaper (SELF recurrence)."""
+
+    FCW = 1873
+    LENGTH = 24
+
+    def _drive(self, engine_kwargs):
+        ring = make_ring(RingGeometry(layers=NCO_LAYERS, width=2),
+                         engine_kwargs)
+        result = nco_fabric(self.FCW, self.LENGTH, ring=ring)
+        return result.samples, ring
+
+    def test_matches_reference(self, engine):
+        got = _matrix_cell(self._drive, engine)
+        assert got == reference.nco(self.FCW, self.LENGTH)
+
+
+class TestResamplerConformance:
+    LENGTH = 20
+
+    REFERENCES = {
+        "up2": reference.upsample2,
+        "down2": reference.downsample2,
+        "up3": reference.upsample3,
+        "down3": reference.downsample3,
+    }
+
+    def _drive(self, factor, engine_kwargs):
+        builder, fabric = RESAMPLERS[factor]
+        program = compile_graph(builder())
+        ring = make_ring(program.geometry, engine_kwargs)
+        result = fabric(_signal(self.LENGTH), ring=ring)
+        return result.samples, ring
+
+    @pytest.mark.parametrize("factor", sorted(RESAMPLERS))
+    def test_matches_reference(self, factor, engine):
+        got = _matrix_cell(
+            lambda kwargs: self._drive(factor, kwargs), engine)
+        assert got == self.REFERENCES[factor](_signal(self.LENGTH))
+
+
+class TestVcaConformance:
+    LENGTH = 20
+
+    def _streams(self):
+        return {0: _signal(self.LENGTH, spread=2000, stride=577),
+                1: [(1000 * i) % 32768 for i in range(self.LENGTH)]}
+
+    def _drive(self, engine_kwargs):
+        return _compiled_drive(vca_graph(), self._streams(),
+                               engine_kwargs)
+
+    def test_matches_reference(self, engine):
+        (got,) = _matrix_cell(self._drive, engine)
+        s = self._streams()
+        assert got == reference.vca(s[0], s[1])
+
+
+class TestMixerConformance:
+    GAINS = (20000, 16000, 12000, 24000)
+    LENGTH = 16
+
+    def _streams(self):
+        return {i: _signal(self.LENGTH, spread=1500, stride=7 + 4 * i)
+                for i in range(len(self.GAINS))}
+
+    def _drive(self, engine_kwargs):
+        return _compiled_drive(mixer_graph(self.GAINS), self._streams(),
+                               engine_kwargs)
+
+    def test_matches_reference(self, engine):
+        (got,) = _matrix_cell(self._drive, engine)
+        s = self._streams()
+        assert got == reference.mix([s[i] for i in range(len(s))],
+                                    self.GAINS)
+
+
+class TestChorusConformance:
+    DEPTH = 6
+    LENGTH = 20
+
+    def _drive(self, engine_kwargs):
+        graph = chorus_graph(self.DEPTH)
+        program = compile_graph(graph)
+        ring = make_ring(program.geometry, engine_kwargs)
+        result = chorus_fabric(_signal(self.LENGTH), self.DEPTH,
+                               ring=ring)
+        return result.samples, ring
+
+    def test_matches_reference(self, engine):
+        got = _matrix_cell(self._drive, engine)
+        assert got == reference.chorus(_signal(self.LENGTH), self.DEPTH)
+
+
+class TestEchoConformance:
+    """Feedback through the ring closure (hand-mapped, stateful)."""
+
+    LAYERS = 6
+    GAIN = 22000
+    LENGTH = 24
+
+    def _drive(self, engine_kwargs):
+        ring = make_ring(RingGeometry(layers=self.LAYERS, width=2),
+                         engine_kwargs)
+        result = echo_fabric(_signal(self.LENGTH, spread=4000), self.GAIN,
+                             ring=ring)
+        return result.samples, ring
+
+    def test_matches_reference(self, engine):
+        got = _matrix_cell(self._drive, engine)
+        assert got == reference.echo(_signal(self.LENGTH, spread=4000),
+                                     self.LAYERS, self.GAIN)
+
+
+class TestComplexConformance:
+    LENGTH = 16
+
+    def _streams(self):
+        return [_signal(self.LENGTH, spread=s, stride=k)
+                for s, k in ((121, 7), (144, 11), (99, 13), (130, 17))]
+
+    def _drive_cmul(self, engine_kwargs):
+        a, b, c, d = self._streams()
+        return _compiled_drive(cmul4_graph(),
+                               {0: a, 1: b, 2: c, 3: d}, engine_kwargs)
+
+    def _drive_cmag(self, engine_kwargs):
+        a, b, _, _ = self._streams()
+        return _compiled_drive(cmag_graph(), {0: a, 1: b}, engine_kwargs)
+
+    def test_cmul_matches_reference(self, engine):
+        re, im = _matrix_cell(self._drive_cmul, engine)
+        a, b, c, d = self._streams()
+        want_re, want_im = reference.complex_multiply(a, b, c, d)
+        assert re == want_re
+        assert im == want_im
+
+    def test_cmag_matches_reference(self, engine):
+        (mag,) = _matrix_cell(self._drive_cmag, engine)
+        a, b, _, _ = self._streams()
+        assert mag == reference.complex_magnitude(a, b)
+
+
+class TestRingMacConformance:
+    """One MAC Dnode time-multiplexed across client dot products."""
+
+    CLIENTS = 3
+    LENGTH = 8
+
+    def _streams(self):
+        a = [_signal(self.LENGTH, spread=40, stride=5 + c)
+             for c in range(self.CLIENTS)]
+        b = [_signal(self.LENGTH, spread=30, stride=3 + 2 * c)
+             for c in range(self.CLIENTS)]
+        return a, b
+
+    def _drive(self, engine_kwargs):
+        ring = make_ring(RingGeometry(layers=2, width=2), engine_kwargs)
+        a, b = self._streams()
+        result = ringmac_fabric(a, b, ring=ring)
+        return result.partials, ring
+
+    def test_matches_reference(self, engine):
+        got = _matrix_cell(self._drive, engine)
+        a, b = self._streams()
+        assert got == reference.ringmac(a, b)

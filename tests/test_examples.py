@@ -23,6 +23,7 @@ EXAMPLES = [
     "video_codec_frontend",
     "waveform_debugging",
     "adaptive_lms",
+    "synth_voice",
 ]
 
 
